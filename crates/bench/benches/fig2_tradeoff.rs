@@ -1,0 +1,48 @@
+//! Experiment E1/E2 (Figures 2a and 2b of the paper): the budget/buffer
+//! trade-off of the producer/consumer task graph.
+//!
+//! The bench measures the time of one joint budget/buffer solve per buffer
+//! capacity (the paper reports "milliseconds" with CPLEX) and of the full
+//! ten-point sweep. The data series themselves are printed by
+//! `cargo run -p bbs-bench --bin figures -- fig2a` / `fig2b`.
+
+use bbs_bench::{fig2_configuration, paper_options, PAPER_CAPACITY_RANGE};
+use budget_buffer::compute_mapping;
+use budget_buffer::explore::{sweep_buffer_capacity, with_capacity_cap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_solves(c: &mut Criterion) {
+    let configuration = fig2_configuration();
+    let options = paper_options();
+    let mut group = c.benchmark_group("fig2a_single_capacity");
+    for capacity in [1u64, 4, 7, 10] {
+        let constrained = with_capacity_cap(&configuration, capacity);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &constrained,
+            |b, constrained| {
+                b.iter(|| compute_mapping(black_box(constrained), &options).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let configuration = fig2_configuration();
+    let options = paper_options();
+    c.bench_function("fig2a_full_sweep_1_to_10", |b| {
+        b.iter(|| {
+            sweep_buffer_capacity(
+                black_box(&configuration),
+                PAPER_CAPACITY_RANGE,
+                &options,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_single_solves, bench_full_sweep);
+criterion_main!(benches);

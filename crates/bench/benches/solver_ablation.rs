@@ -1,0 +1,70 @@
+//! Experiment E5: solver and flow ablations.
+//!
+//! Two comparisons motivated by the paper's introduction:
+//!
+//! * **Joint SOCP versus the two-phase baseline** — how much extra work the
+//!   traditional "budgets first, buffers second" flow performs, and where it
+//!   fails outright (false negatives are exercised in the tests; here we
+//!   time the successful cases).
+//! * **Interior-point SOCP versus cutting-plane LP loop** — the cost of not
+//!   having a one-shot conic formulation.
+
+use bbs_bench::{fig2_configuration, fig3_configuration, paper_options};
+use budget_buffer::explore::with_capacity_cap;
+use budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
+use budget_buffer::{compute_mapping, SolveOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_joint_vs_two_phase(c: &mut Criterion) {
+    let configuration = fig2_configuration();
+    let options = paper_options();
+    let mut group = c.benchmark_group("joint_vs_two_phase");
+    group.bench_function("joint_socp", |b| {
+        b.iter(|| compute_mapping(black_box(&configuration), &options).unwrap());
+    });
+    group.bench_function("two_phase_min_budget", |b| {
+        b.iter(|| {
+            compute_mapping_two_phase(
+                black_box(&configuration),
+                BudgetPolicy::ThroughputMinimum,
+                &options,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("two_phase_fair_share", |b| {
+        b.iter(|| {
+            compute_mapping_two_phase(
+                black_box(&configuration),
+                BudgetPolicy::FairShare,
+                &options,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_interior_point_vs_cutting_plane(c: &mut Criterion) {
+    let configuration = with_capacity_cap(&fig3_configuration(), 4);
+    let ipm_options = paper_options();
+    let cp_options = SolveOptions::default()
+        .prefer_budget_minimisation()
+        .with_cutting_plane();
+    let mut group = c.benchmark_group("socp_vs_cutting_plane");
+    group.bench_function("interior_point", |b| {
+        b.iter(|| compute_mapping(black_box(&configuration), &ipm_options).unwrap());
+    });
+    group.bench_function("cutting_plane", |b| {
+        b.iter(|| compute_mapping(black_box(&configuration), &cp_options).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_joint_vs_two_phase,
+    bench_interior_point_vs_cutting_plane
+);
+criterion_main!(benches);

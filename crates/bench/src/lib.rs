@@ -1,0 +1,124 @@
+//! Shared workloads and helpers for the benchmark harness.
+//!
+//! Every experiment of the paper (see `DESIGN.md`, experiment index) is
+//! driven from here so that the Criterion benches and the `figures` binary
+//! produce their numbers from exactly the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bbs_taskgraph::presets::{
+    chain3, producer_consumer, random_dag, PaperParameters, RandomWorkload,
+};
+use bbs_taskgraph::{BufferRef, Configuration, TaskRef};
+use budget_buffer::explore::{sweep_buffer_capacity, TradeoffPoint};
+use budget_buffer::{Mapping, MappingError, SolveOptions};
+use std::collections::BTreeMap;
+
+/// The buffer-capacity range swept in the paper's experiments (1..=10
+/// containers).
+pub const PAPER_CAPACITY_RANGE: std::ops::RangeInclusive<u64> = 1..=10;
+
+/// The solver options used for every paper experiment: budgets are minimised
+/// with priority, buffer storage as a tie-breaker.
+pub fn paper_options() -> SolveOptions {
+    SolveOptions::default().prefer_budget_minimisation()
+}
+
+/// The producer/consumer configuration of Experiment 1 (Figures 2a and 2b),
+/// without a capacity cap (the sweep applies the caps).
+pub fn fig2_configuration() -> Configuration {
+    producer_consumer(PaperParameters::default(), None)
+}
+
+/// The three-task chain of Experiment 2 (Figure 3), without capacity caps.
+pub fn fig3_configuration() -> Configuration {
+    chain3(PaperParameters::default(), None)
+}
+
+/// Runs the Figure 2(a)/(b) sweep: one joint solve per buffer capacity.
+///
+/// # Errors
+///
+/// Propagates solver errors; the paper set-up is feasible for every capacity
+/// in the range, so an error indicates a regression.
+pub fn fig2_sweep() -> Result<(Configuration, Vec<TradeoffPoint>), MappingError> {
+    let configuration = fig2_configuration();
+    let points = sweep_buffer_capacity(&configuration, PAPER_CAPACITY_RANGE, &paper_options())?;
+    Ok((configuration, points))
+}
+
+/// Runs the Figure 3 sweep over the chain topology.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn fig3_sweep() -> Result<(Configuration, Vec<TradeoffPoint>), MappingError> {
+    let configuration = fig3_configuration();
+    let points = sweep_buffer_capacity(&configuration, PAPER_CAPACITY_RANGE, &paper_options())?;
+    Ok((configuration, points))
+}
+
+/// Random workloads of increasing size for the run-time scaling experiment
+/// (the paper's "run-time is milliseconds" claim, E4 in DESIGN.md).
+///
+/// The sizes are chosen so the full Criterion sweep stays in the minutes
+/// range on a laptop: the dense interior-point iteration is cubic in the
+/// number of constraint rows, and the paper's own instances have 2–3 tasks.
+pub fn runtime_workloads() -> Vec<(String, Configuration)> {
+    [4usize, 8, 12, 16, 24]
+        .into_iter()
+        .map(|n| {
+            let params = RandomWorkload {
+                num_tasks: n,
+                num_processors: (n / 2).max(2),
+                extra_edge_probability: 0.2,
+                seed: 7 + n as u64,
+                ..RandomWorkload::default()
+            };
+            (format!("{n}-task random DAG"), random_dag(&params))
+        })
+        .collect()
+}
+
+/// Converts a mapping into the plain maps the TDM scheduler simulator
+/// consumes.
+pub fn mapping_to_simulation_maps(
+    mapping: &Mapping,
+) -> (BTreeMap<TaskRef, u64>, BTreeMap<BufferRef, u64>) {
+    (
+        mapping.budgets().collect(),
+        mapping.capacities().collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use budget_buffer::compute_mapping;
+
+    #[test]
+    fn fig2_sweep_produces_ten_points() {
+        let (c, points) = fig2_sweep().unwrap();
+        assert_eq!(points.len(), 10);
+        assert_eq!(c.num_tasks(), 2);
+    }
+
+    #[test]
+    fn runtime_workloads_are_solvable() {
+        for (name, configuration) in runtime_workloads().into_iter().take(2) {
+            let mapping = compute_mapping(&configuration, &paper_options())
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            assert!(mapping.total_budget() > 0, "{name} produced no budgets");
+        }
+    }
+
+    #[test]
+    fn simulation_maps_cover_every_task_and_buffer() {
+        let c = fig2_configuration();
+        let mapping = compute_mapping(&c, &paper_options()).unwrap();
+        let (budgets, capacities) = mapping_to_simulation_maps(&mapping);
+        assert_eq!(budgets.len(), c.num_tasks());
+        assert_eq!(capacities.len(), c.num_buffers());
+    }
+}

@@ -1,0 +1,517 @@
+//! Cone descriptions and Jordan-algebra operations.
+//!
+//! The solver works with the standard conic form `min cᵀx  s.t.  Gx + s = h,
+//! s ∈ K`, where `K` is a Cartesian product of a nonnegative orthant and a
+//! number of second-order (Lorentz) cones. This module describes such
+//! products and provides the per-block operations the interior-point method
+//! needs: identity elements, interior membership, Jordan products, Jordan
+//! divisions and maximum step lengths to the cone boundary.
+
+use bbs_linalg::DVector;
+use std::fmt;
+
+/// One block of the cone product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConeBlock {
+    /// A nonnegative orthant of the given dimension: `s_i ≥ 0`.
+    NonNeg(usize),
+    /// A second-order (Lorentz) cone of the given dimension `m ≥ 1`:
+    /// `s_0 ≥ ‖s_{1..m}‖₂`.
+    Soc(usize),
+}
+
+impl ConeBlock {
+    /// Dimension (number of scalar entries) of the block.
+    pub fn dim(&self) -> usize {
+        match *self {
+            ConeBlock::NonNeg(n) => n,
+            ConeBlock::Soc(n) => n,
+        }
+    }
+
+    /// Barrier degree contribution of the block (number of orthant entries,
+    /// or 1 per second-order cone).
+    pub fn degree(&self) -> usize {
+        match *self {
+            ConeBlock::NonNeg(n) => n,
+            ConeBlock::Soc(n) => usize::from(n > 0),
+        }
+    }
+}
+
+impl fmt::Display for ConeBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConeBlock::NonNeg(n) => write!(f, "R+^{n}"),
+            ConeBlock::Soc(n) => write!(f, "Q^{n}"),
+        }
+    }
+}
+
+/// A Cartesian product of cone blocks describing the full cone `K`.
+///
+/// # Example
+///
+/// ```
+/// use bbs_conic::{Cone, ConeBlock};
+///
+/// let cone = Cone::new(vec![ConeBlock::NonNeg(3), ConeBlock::Soc(3)]);
+/// assert_eq!(cone.dim(), 6);
+/// assert_eq!(cone.degree(), 4);
+/// let e = cone.identity();
+/// assert!(cone.is_interior(&e));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cone {
+    blocks: Vec<ConeBlock>,
+}
+
+impl Cone {
+    /// Creates a cone from its blocks. Zero-dimensional blocks are dropped.
+    pub fn new(blocks: Vec<ConeBlock>) -> Self {
+        Self {
+            blocks: blocks.into_iter().filter(|b| b.dim() > 0).collect(),
+        }
+    }
+
+    /// The blocks making up this cone.
+    pub fn blocks(&self) -> &[ConeBlock] {
+        &self.blocks
+    }
+
+    /// Total dimension (number of scalar entries).
+    pub fn dim(&self) -> usize {
+        self.blocks.iter().map(ConeBlock::dim).sum()
+    }
+
+    /// Barrier degree of the cone (used for the duality-gap normalisation).
+    pub fn degree(&self) -> usize {
+        self.blocks.iter().map(ConeBlock::degree).sum()
+    }
+
+    /// Returns `true` when the cone has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.dim() == 0
+    }
+
+    /// Iterates over `(offset, block)` pairs.
+    pub fn iter_offsets(&self) -> impl Iterator<Item = (usize, ConeBlock)> + '_ {
+        let mut offset = 0;
+        self.blocks.iter().map(move |&b| {
+            let o = offset;
+            offset += b.dim();
+            (o, b)
+        })
+    }
+
+    /// The identity element `e` of the cone's Jordan algebra
+    /// (all-ones for the orthant, `(1, 0, …, 0)` per second-order cone).
+    pub fn identity(&self) -> DVector {
+        let mut e = DVector::zeros(self.dim());
+        for (off, block) in self.iter_offsets() {
+            match block {
+                ConeBlock::NonNeg(n) => {
+                    for i in 0..n {
+                        e[off + i] = 1.0;
+                    }
+                }
+                ConeBlock::Soc(_) => e[off] = 1.0,
+            }
+        }
+        e
+    }
+
+    /// Returns `true` when `v` lies in the interior of the cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn is_interior(&self, v: &DVector) -> bool {
+        self.margin(v) > 0.0
+    }
+
+    /// Returns `true` when `v` lies in the (closed) cone, to within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn contains(&self, v: &DVector, tol: f64) -> bool {
+        self.margin(v) >= -tol
+    }
+
+    /// Signed distance-like margin of `v` to the cone boundary: positive in
+    /// the interior, negative outside. For the orthant this is the minimum
+    /// entry; for a second-order cone it is `s₀ − ‖s₁‖`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn margin(&self, v: &DVector) -> f64 {
+        assert_eq!(v.len(), self.dim(), "cone margin: dimension mismatch");
+        let mut m = f64::INFINITY;
+        for (off, block) in self.iter_offsets() {
+            match block {
+                ConeBlock::NonNeg(n) => {
+                    for i in 0..n {
+                        m = m.min(v[off + i]);
+                    }
+                }
+                ConeBlock::Soc(n) => {
+                    let head = v[off];
+                    let tail = norm_tail(v, off, n);
+                    m = m.min(head - tail);
+                }
+            }
+        }
+        if self.dim() == 0 {
+            0.0
+        } else {
+            m
+        }
+    }
+
+    /// Jordan product `u ∘ v` (element-wise for the orthant, arrow product
+    /// for second-order cones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match the cone.
+    pub fn jordan_product(&self, u: &DVector, v: &DVector) -> DVector {
+        assert_eq!(u.len(), self.dim(), "jordan product: dimension mismatch");
+        assert_eq!(v.len(), self.dim(), "jordan product: dimension mismatch");
+        let mut out = DVector::zeros(self.dim());
+        for (off, block) in self.iter_offsets() {
+            match block {
+                ConeBlock::NonNeg(n) => {
+                    for i in 0..n {
+                        out[off + i] = u[off + i] * v[off + i];
+                    }
+                }
+                ConeBlock::Soc(n) => {
+                    let mut dot = 0.0;
+                    for i in 0..n {
+                        dot += u[off + i] * v[off + i];
+                    }
+                    out[off] = dot;
+                    for i in 1..n {
+                        out[off + i] = u[off] * v[off + i] + v[off] * u[off + i];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Jordan division: solves `λ ∘ u = rhs` for `u`, where `λ` must be in
+    /// the interior of the cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match or if a block of `λ` is
+    /// (numerically) singular in the Jordan algebra.
+    pub fn jordan_solve(&self, lambda: &DVector, rhs: &DVector) -> DVector {
+        assert_eq!(lambda.len(), self.dim(), "jordan solve: dimension mismatch");
+        assert_eq!(rhs.len(), self.dim(), "jordan solve: dimension mismatch");
+        let mut out = DVector::zeros(self.dim());
+        for (off, block) in self.iter_offsets() {
+            match block {
+                ConeBlock::NonNeg(n) => {
+                    for i in 0..n {
+                        out[off + i] = rhs[off + i] / lambda[off + i];
+                    }
+                }
+                ConeBlock::Soc(n) => {
+                    // Solve the arrow system Arw(λ) u = r.
+                    let l0 = lambda[off];
+                    let mut l1_sq = 0.0;
+                    let mut l1_dot_r1 = 0.0;
+                    for i in 1..n {
+                        l1_sq += lambda[off + i] * lambda[off + i];
+                        l1_dot_r1 += lambda[off + i] * rhs[off + i];
+                    }
+                    let det = l0 * l0 - l1_sq;
+                    assert!(
+                        det.abs() > f64::MIN_POSITIVE && l0.abs() > f64::MIN_POSITIVE,
+                        "jordan solve: singular lambda block"
+                    );
+                    let u0 = (l0 * rhs[off] - l1_dot_r1) / det;
+                    out[off] = u0;
+                    for i in 1..n {
+                        out[off + i] = (rhs[off + i] - lambda[off + i] * u0) / l0;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest `α ≥ 0` such that `u + α d` stays in the cone, capped at
+    /// `cap`. `u` must be in the interior of the cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match the cone.
+    pub fn max_step(&self, u: &DVector, d: &DVector, cap: f64) -> f64 {
+        assert_eq!(u.len(), self.dim(), "max step: dimension mismatch");
+        assert_eq!(d.len(), self.dim(), "max step: dimension mismatch");
+        let mut alpha = cap;
+        for (off, block) in self.iter_offsets() {
+            match block {
+                ConeBlock::NonNeg(n) => {
+                    for i in 0..n {
+                        let di = d[off + i];
+                        if di < 0.0 {
+                            alpha = alpha.min(-u[off + i] / di);
+                        }
+                    }
+                }
+                ConeBlock::Soc(n) => {
+                    alpha = alpha.min(soc_max_step(u, d, off, n, cap));
+                }
+            }
+        }
+        alpha.max(0.0)
+    }
+}
+
+impl fmt::Display for Cone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.blocks.is_empty() {
+            return write!(f, "{{0}}");
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ConeBlock> for Cone {
+    fn from_iter<I: IntoIterator<Item = ConeBlock>>(iter: I) -> Self {
+        Cone::new(iter.into_iter().collect())
+    }
+}
+
+fn norm_tail(v: &DVector, off: usize, n: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..n {
+        acc += v[off + i] * v[off + i];
+    }
+    acc.sqrt()
+}
+
+/// Largest step keeping `u + α d` in a single second-order cone block.
+fn soc_max_step(u: &DVector, d: &DVector, off: usize, n: usize, cap: f64) -> f64 {
+    // f(α) = (u0 + α d0)² − ‖u1 + α d1‖² must stay ≥ 0 and u0 + α d0 ≥ 0.
+    let u0 = u[off];
+    let d0 = d[off];
+    let mut u1u1 = 0.0;
+    let mut u1d1 = 0.0;
+    let mut d1d1 = 0.0;
+    for i in 1..n {
+        u1u1 += u[off + i] * u[off + i];
+        u1d1 += u[off + i] * d[off + i];
+        d1d1 += d[off + i] * d[off + i];
+    }
+    let a = d0 * d0 - d1d1;
+    let b = 2.0 * (u0 * d0 - u1d1);
+    let c = u0 * u0 - u1u1;
+    // c > 0 since u is interior; find the smallest positive root of
+    // a α² + b α + c = 0, also respecting u0 + α d0 ≥ 0.
+    let mut alpha = cap;
+    let roots = quadratic_roots(a, b, c);
+    for r in roots.into_iter().flatten() {
+        if r > 0.0 {
+            alpha = alpha.min(r);
+        }
+    }
+    if d0 < 0.0 {
+        alpha = alpha.min(-u0 / d0);
+    }
+    alpha
+}
+
+/// Real roots of `a x² + b x + c = 0`, handling the degenerate linear case.
+fn quadratic_roots(a: f64, b: f64, c: f64) -> [Option<f64>; 2] {
+    if a.abs() < 1e-300 {
+        if b.abs() < 1e-300 {
+            return [None, None];
+        }
+        return [Some(-c / b), None];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return [None, None];
+    }
+    let sq = disc.sqrt();
+    // Numerically stable quadratic formula.
+    let q = -0.5 * (b + b.signum() * sq);
+    let r1 = q / a;
+    let r2 = if q.abs() > 1e-300 { c / q } else { r1 };
+    [Some(r1), Some(r2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cone_mixed() -> Cone {
+        Cone::new(vec![ConeBlock::NonNeg(2), ConeBlock::Soc(3)])
+    }
+
+    #[test]
+    fn dims_and_degree() {
+        let c = cone_mixed();
+        assert_eq!(c.dim(), 5);
+        assert_eq!(c.degree(), 3);
+        assert!(!c.is_empty());
+        assert!(Cone::new(vec![]).is_empty());
+        assert_eq!(Cone::new(vec![ConeBlock::NonNeg(0)]).dim(), 0);
+    }
+
+    #[test]
+    fn identity_is_interior() {
+        let c = cone_mixed();
+        let e = c.identity();
+        assert_eq!(e.as_slice(), &[1.0, 1.0, 1.0, 0.0, 0.0]);
+        assert!(c.is_interior(&e));
+        assert!(c.contains(&e, 0.0));
+        assert_eq!(c.margin(&e), 1.0);
+    }
+
+    #[test]
+    fn membership_boundaries() {
+        let c = Cone::new(vec![ConeBlock::Soc(3)]);
+        let on_boundary = DVector::from_slice(&[5.0, 3.0, 4.0]);
+        assert!(!c.is_interior(&on_boundary));
+        assert!(c.contains(&on_boundary, 1e-12));
+        let outside = DVector::from_slice(&[4.0, 3.0, 4.0]);
+        assert!(!c.contains(&outside, 1e-12));
+        assert!(c.margin(&outside) < 0.0);
+    }
+
+    #[test]
+    fn jordan_product_orthant_is_elementwise() {
+        let c = Cone::new(vec![ConeBlock::NonNeg(3)]);
+        let u = DVector::from_slice(&[1.0, 2.0, 3.0]);
+        let v = DVector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(c.jordan_product(&u, &v).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn jordan_product_soc_identity() {
+        let c = Cone::new(vec![ConeBlock::Soc(4)]);
+        let e = c.identity();
+        let v = DVector::from_slice(&[3.0, 1.0, -2.0, 0.5]);
+        let p = c.jordan_product(&e, &v);
+        for i in 0..4 {
+            assert!((p[i] - v[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn jordan_solve_inverts_product() {
+        let c = cone_mixed();
+        let lambda = DVector::from_slice(&[2.0, 3.0, 5.0, 1.0, -2.0]);
+        assert!(c.is_interior(&lambda));
+        let u = DVector::from_slice(&[0.5, -1.0, 2.0, 0.3, 0.7]);
+        let rhs = c.jordan_product(&lambda, &u);
+        let sol = c.jordan_solve(&lambda, &rhs);
+        for i in 0..5 {
+            assert!((sol[i] - u[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_step_orthant() {
+        let c = Cone::new(vec![ConeBlock::NonNeg(2)]);
+        let u = DVector::from_slice(&[1.0, 2.0]);
+        let d = DVector::from_slice(&[-1.0, -4.0]);
+        assert!((c.max_step(&u, &d, 10.0) - 0.5).abs() < 1e-12);
+        let d_pos = DVector::from_slice(&[1.0, 1.0]);
+        assert_eq!(c.max_step(&u, &d_pos, 10.0), 10.0);
+    }
+
+    #[test]
+    fn max_step_soc_hits_boundary() {
+        let c = Cone::new(vec![ConeBlock::Soc(3)]);
+        let u = DVector::from_slice(&[2.0, 0.0, 0.0]);
+        // Moving straight down in the head coordinate hits the boundary at α=2
+        // only through the u0 ≥ 0 condition; with a tail component it is sooner.
+        let d = DVector::from_slice(&[-1.0, 1.0, 0.0]);
+        let alpha = c.max_step(&u, &d, 100.0);
+        // At α: (2-α)² = α² → α = 1.
+        assert!((alpha - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = cone_mixed();
+        assert_eq!(format!("{c}"), "R+^2 x Q^3");
+        assert_eq!(format!("{}", Cone::new(vec![])), "{0}");
+    }
+
+    #[test]
+    fn from_iterator_collects_blocks() {
+        let c: Cone = vec![ConeBlock::NonNeg(1), ConeBlock::Soc(2)].into_iter().collect();
+        assert_eq!(c.blocks().len(), 2);
+    }
+
+    #[test]
+    fn quadratic_roots_cases() {
+        // Linear case.
+        let r = quadratic_roots(0.0, 2.0, -4.0);
+        assert_eq!(r[0], Some(2.0));
+        // No real roots.
+        assert_eq!(quadratic_roots(1.0, 0.0, 1.0), [None, None]);
+        // Two roots.
+        let r = quadratic_roots(1.0, -3.0, 2.0);
+        let mut roots: Vec<f64> = r.iter().flatten().copied().collect();
+        roots.sort_by(f64::total_cmp);
+        assert!((roots[0] - 1.0).abs() < 1e-12 && (roots[1] - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_step_to_boundary_is_feasible(u0 in 1.0f64..10.0,
+                                             u1 in -5.0f64..5.0,
+                                             u2 in -5.0f64..5.0,
+                                             d0 in -5.0f64..5.0,
+                                             d1 in -5.0f64..5.0,
+                                             d2 in -5.0f64..5.0) {
+            // Make sure u is strictly interior by inflating the head.
+            let head = u0 + (u1 * u1 + u2 * u2).sqrt();
+            let c = Cone::new(vec![ConeBlock::Soc(3)]);
+            let u = DVector::from_slice(&[head, u1, u2]);
+            let d = DVector::from_slice(&[d0, d1, d2]);
+            let alpha = c.max_step(&u, &d, 1.0);
+            prop_assert!(alpha >= 0.0);
+            // Stepping 99.9% of the way must stay inside the (closed) cone.
+            let mut stepped = u.clone();
+            stepped.axpy(alpha * 0.999, &d);
+            prop_assert!(c.contains(&stepped, 1e-7));
+        }
+
+        #[test]
+        fn prop_jordan_solve_roundtrip_soc(l0 in 1.0f64..5.0,
+                                           l1 in -2.0f64..2.0,
+                                           l2 in -2.0f64..2.0,
+                                           r0 in -3.0f64..3.0,
+                                           r1 in -3.0f64..3.0,
+                                           r2 in -3.0f64..3.0) {
+            let head = l0 + (l1 * l1 + l2 * l2).sqrt();
+            let c = Cone::new(vec![ConeBlock::Soc(3)]);
+            let lambda = DVector::from_slice(&[head, l1, l2]);
+            let rhs = DVector::from_slice(&[r0, r1, r2]);
+            let u = c.jordan_solve(&lambda, &rhs);
+            let back = c.jordan_product(&lambda, &u);
+            for i in 0..3 {
+                prop_assert!((back[i] - rhs[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Trade-off exploration: the drivers behind the paper's figures.
+//!
+//! The budget/buffer trade-off is explored exactly as in the paper's
+//! experiments: the maximum buffer capacity is swept and for every value the
+//! joint optimisation is solved with weights that prioritise budget
+//! minimisation. The resulting series are the data behind Figure 2(a)
+//! (budget versus capacity), Figure 2(b) (the discrete derivative of that
+//! curve) and Figure 3 (per-task budgets for the three-task chain).
+
+use crate::error::MappingError;
+use crate::options::SolveOptions;
+use crate::solution::Mapping;
+use crate::solver::compute_mapping;
+use bbs_taskgraph::Configuration;
+use std::time::{Duration, Instant};
+
+/// One point of a capacity sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// The capacity cap applied to every buffer of the configuration, in
+    /// containers.
+    pub capacity_cap: u64,
+    /// The mapping computed under that cap.
+    pub mapping: Mapping,
+    /// Wall-clock time of the solve.
+    pub solve_time: Duration,
+}
+
+impl TradeoffPoint {
+    /// Sum of all budgets at this point, in cycles.
+    pub fn total_budget(&self) -> u64 {
+        self.mapping.total_budget()
+    }
+}
+
+/// Sweeps the maximum buffer capacity over `caps`, applying the same cap to
+/// *every* buffer of the configuration (as the paper does for both of its
+/// experiments), and solves the joint problem for each value.
+///
+/// # Errors
+///
+/// Propagates the first error encountered. An infeasible cap (for example a
+/// single container when the processors cannot afford the implied budgets)
+/// is reported as [`MappingError::Infeasible`].
+pub fn sweep_buffer_capacity(
+    configuration: &Configuration,
+    caps: impl IntoIterator<Item = u64>,
+    options: &SolveOptions,
+) -> Result<Vec<TradeoffPoint>, MappingError> {
+    let mut points = Vec::new();
+    for cap in caps {
+        let constrained = with_capacity_cap(configuration, cap);
+        let start = Instant::now();
+        let mapping = compute_mapping(&constrained, options)?;
+        let solve_time = start.elapsed();
+        points.push(TradeoffPoint {
+            capacity_cap: cap,
+            mapping,
+            solve_time,
+        });
+    }
+    Ok(points)
+}
+
+/// Returns a copy of the configuration with every buffer's maximum capacity
+/// set to `cap` containers.
+pub fn with_capacity_cap(configuration: &Configuration, cap: u64) -> Configuration {
+    let mut constrained = configuration.clone();
+    let buffer_refs = constrained.all_buffers();
+    for buffer_ref in buffer_refs {
+        let graph = constrained.task_graph_mut(buffer_ref.graph);
+        let updated = graph.buffer(buffer_ref.buffer).clone().with_max_capacity(cap);
+        *graph.buffer_mut(buffer_ref.buffer) = updated;
+    }
+    constrained
+}
+
+/// The per-step budget reduction of a sweep (Figure 2(b)): element `i` is
+/// the decrease in total budget when going from `points[i]` to
+/// `points[i+1]` (one more container). Entries are clamped at zero so a
+/// granularity artefact can never show as a negative saving.
+pub fn budget_reduction_series(points: &[TradeoffPoint]) -> Vec<f64> {
+    points
+        .windows(2)
+        .map(|w| (w[0].total_budget() as f64 - w[1].total_budget() as f64).max(0.0))
+        .collect()
+}
+
+/// A point is Pareto-optimal when no other point has both a smaller total
+/// budget and a smaller total storage. Returns the Pareto-optimal subset of
+/// the sweep (in input order).
+pub fn pareto_front(
+    configuration: &Configuration,
+    points: &[TradeoffPoint],
+) -> Vec<TradeoffPoint> {
+    points
+        .iter()
+        .filter(|candidate| {
+            !points.iter().any(|other| {
+                other.total_budget() < candidate.total_budget()
+                    && other.mapping.total_storage(configuration)
+                        < candidate.mapping.total_storage(configuration)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_taskgraph::presets::{chain3, producer_consumer, PaperParameters};
+
+    fn options() -> SolveOptions {
+        SolveOptions::default().prefer_budget_minimisation()
+    }
+
+    #[test]
+    fn figure2a_sweep_is_convex_and_decreasing() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let points = sweep_buffer_capacity(&c, 1..=10, &options()).unwrap();
+        assert_eq!(points.len(), 10);
+        // Decreasing total budget.
+        for w in points.windows(2) {
+            assert!(w[1].total_budget() <= w[0].total_budget());
+        }
+        // End points match the hand analysis: ≈36–37 per task at capacity 1,
+        // the floor of 4 per task at capacity 10.
+        assert_eq!(points[0].mapping.budget_of_named(&c, "wa"), Some(37));
+        assert_eq!(points[9].mapping.budget_of_named(&c, "wa"), Some(4));
+    }
+
+    #[test]
+    fn figure2b_derivative_is_nonnegative_and_sums_to_total_drop() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let points = sweep_buffer_capacity(&c, 1..=10, &options()).unwrap();
+        let deltas = budget_reduction_series(&points);
+        assert_eq!(deltas.len(), 9);
+        assert!(deltas.iter().all(|&d| d >= 0.0));
+        let total_drop: f64 = deltas.iter().sum();
+        assert!(
+            (total_drop
+                - (points[0].total_budget() as f64 - points[9].total_budget() as f64))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn figure3_chain_sweep_orders_middle_task_last() {
+        let c = chain3(PaperParameters::default(), None);
+        let points = sweep_buffer_capacity(&c, 1..=10, &options()).unwrap();
+        for p in &points {
+            let wa = p.mapping.budget_of_named(&c, "wa").unwrap();
+            let wb = p.mapping.budget_of_named(&c, "wb").unwrap();
+            let wc = p.mapping.budget_of_named(&c, "wc").unwrap();
+            assert_eq!(wa, wc, "outer tasks stay symmetric at cap {}", p.capacity_cap);
+            assert!(
+                wb + 1 >= wa,
+                "middle task must not be reduced ahead of the outer ones (cap {})",
+                p.capacity_cap
+            );
+        }
+        // At the largest capacity everything reaches the floor.
+        let last = points.last().unwrap();
+        assert_eq!(last.mapping.budget_of_named(&c, "wb"), Some(4));
+    }
+
+    #[test]
+    fn capacity_cap_helper_applies_to_every_buffer() {
+        let c = chain3(PaperParameters::default(), None);
+        let capped = with_capacity_cap(&c, 7);
+        for r in capped.all_buffers() {
+            assert_eq!(
+                capped.task_graph(r.graph).buffer(r.buffer).max_capacity(),
+                Some(7)
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_subset() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let points = sweep_buffer_capacity(&c, [2u64, 4, 6, 8, 10], &options()).unwrap();
+        let front = pareto_front(&c, &points);
+        assert!(!front.is_empty());
+        assert!(front.len() <= points.len());
+        for p in &front {
+            assert!(points.iter().any(|q| q.capacity_cap == p.capacity_cap));
+        }
+    }
+
+    #[test]
+    fn solve_times_are_recorded() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let points = sweep_buffer_capacity(&c, [5u64], &options()).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].solve_time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,501 @@
+//! Construction of the budget-scheduler dataflow model (Section II-C of the
+//! paper).
+//!
+//! Every task `w` bound to processor `p` becomes a two-actor component:
+//!
+//! * a *budget-wait* actor `v1` with firing duration `̺(p) − β(w)`
+//!   (the worst-case wait before the task's budget is replenished), and
+//! * an *execution* actor `v2` with firing duration `̺(p)·χ(w)/β(w)`
+//!   (the execution of `χ(w)` cycles of work spread over TDM slots of
+//!   `β(w)` cycles each),
+//!
+//! connected by a token-free queue `v1 → v2` and with a one-token self-loop
+//! on `v2` serialising consecutive firings. Every FIFO buffer becomes a pair
+//! of opposite queues between the components of its producer and consumer:
+//! the *data* queue (initial tokens = initially filled containers `ι(b)`)
+//! and the *space* queue (initial tokens = initially empty containers
+//! `γ(b) − ι(b)`).
+//!
+//! Because the budgets `β` and capacities `γ` are the unknowns of the
+//! optimisation, the model is kept *symbolic*: actors know which task they
+//! belong to and queues know whether their token count is a constant or the
+//! variable free space of a buffer. [`DataflowModel::instantiate`] plugs in
+//! concrete values and produces an ordinary [`SrdfGraph`] for verification
+//! and simulation.
+
+use bbs_srdf::{Actor, Queue, SrdfGraph};
+use bbs_taskgraph::{BufferId, Configuration, TaskGraphId, TaskId};
+use std::collections::HashMap;
+
+/// Role of an actor in the two-actor task component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorRole {
+    /// First actor `v1`: waits for the budget, duration `̺(p) − β(w)`.
+    BudgetWait(TaskId),
+    /// Second actor `v2`: executes, duration `̺(p)·χ(w)/β(w)`.
+    Execution(TaskId),
+}
+
+impl ActorRole {
+    /// The task this actor models.
+    pub fn task(&self) -> TaskId {
+        match *self {
+            ActorRole::BudgetWait(t) | ActorRole::Execution(t) => t,
+        }
+    }
+}
+
+/// Token count of a model queue: either a constant or the optimisation
+/// variable "free space of buffer `b`" (`γ(b) − ι(b)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenCount {
+    /// A fixed number of initial tokens.
+    Fixed(u64),
+    /// The initially empty containers of the given buffer — an optimisation
+    /// variable.
+    BufferSpace(BufferId),
+}
+
+/// Structural role of a model queue; determines which PAS constraint class
+/// (E1 or E2 of the paper) it instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueRole {
+    /// The token-free queue `v1 → v2` inside a task component (class E1).
+    IntraTask(TaskId),
+    /// The one-token self-loop on the execution actor (class E2).
+    ExecutionSelfLoop(TaskId),
+    /// The data queue of a buffer, producer `v2` → consumer `v1` (class E2).
+    Data(BufferId),
+    /// The space queue of a buffer, consumer `v2` → producer `v1`
+    /// (class E2, variable tokens).
+    Space(BufferId),
+}
+
+/// A symbolic actor of the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelActor {
+    /// Role (which task, wait or execution).
+    pub role: ActorRole,
+    /// Name carried over into instantiated graphs, e.g. `"wa.v2"`.
+    pub name: String,
+}
+
+/// A symbolic queue of the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelQueue {
+    /// Index of the source actor within the owning [`GraphModel`].
+    pub source: usize,
+    /// Index of the target actor within the owning [`GraphModel`].
+    pub target: usize,
+    /// Token count (constant or buffer-space variable).
+    pub tokens: TokenCount,
+    /// Structural role of the queue.
+    pub role: QueueRole,
+}
+
+impl ModelQueue {
+    /// Returns `true` for queues in the paper's class `E1` (output queues of
+    /// `v1` actors, always token-free by construction).
+    pub fn is_class_e1(&self) -> bool {
+        matches!(self.role, QueueRole::IntraTask(_))
+    }
+}
+
+/// The dataflow model of one task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphModel {
+    /// The task graph this model was derived from.
+    pub graph_id: TaskGraphId,
+    /// Throughput period `µ(T)` of the task graph.
+    pub period: f64,
+    /// Actors, indexed densely from 0.
+    pub actors: Vec<ModelActor>,
+    /// Queues between the actors.
+    pub queues: Vec<ModelQueue>,
+    /// For every task of the graph: the indices of its `(v1, v2)` actors.
+    pub task_actors: Vec<(usize, usize)>,
+}
+
+impl GraphModel {
+    /// Indices of the `(v1, v2)` actors of a task.
+    pub fn actors_of_task(&self, task: TaskId) -> (usize, usize) {
+        self.task_actors[task.index()]
+    }
+
+    /// Weakly-connected components of the model graph (actor indices).
+    /// The mapping formulation pins one start-time per component to zero to
+    /// remove the translational degeneracy of the PAS constraints.
+    pub fn weakly_connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.actors.len();
+        let mut component = vec![usize::MAX; n];
+        let mut count = 0;
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            component[start] = count;
+            while let Some(v) = stack.pop() {
+                for q in &self.queues {
+                    for (a, b) in [(q.source, q.target), (q.target, q.source)] {
+                        if a == v && component[b] == usize::MAX {
+                            component[b] = count;
+                            stack.push(b);
+                        }
+                    }
+                }
+            }
+            count += 1;
+        }
+        let mut out = vec![Vec::new(); count];
+        for (actor, &c) in component.iter().enumerate() {
+            out[c].push(actor);
+        }
+        out
+    }
+}
+
+/// The dataflow models of every task graph in a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowModel {
+    graphs: Vec<GraphModel>,
+}
+
+impl DataflowModel {
+    /// Builds the symbolic dataflow model for a configuration.
+    ///
+    /// The configuration is assumed to be structurally valid (see
+    /// [`Configuration::validate`]); the higher-level entry points validate
+    /// before calling this.
+    pub fn build(configuration: &Configuration) -> Self {
+        let mut graphs = Vec::new();
+        for (gid, graph) in configuration.task_graphs() {
+            let mut actors = Vec::new();
+            let mut queues = Vec::new();
+            let mut task_actors = Vec::new();
+            for (tid, task) in graph.tasks() {
+                let v1 = actors.len();
+                actors.push(ModelActor {
+                    role: ActorRole::BudgetWait(tid),
+                    name: format!("{}.v1", task.name()),
+                });
+                let v2 = actors.len();
+                actors.push(ModelActor {
+                    role: ActorRole::Execution(tid),
+                    name: format!("{}.v2", task.name()),
+                });
+                task_actors.push((v1, v2));
+                // E1 queue v1 -> v2 with zero tokens.
+                queues.push(ModelQueue {
+                    source: v1,
+                    target: v2,
+                    tokens: TokenCount::Fixed(0),
+                    role: QueueRole::IntraTask(tid),
+                });
+                // One-token self-loop on the execution actor.
+                queues.push(ModelQueue {
+                    source: v2,
+                    target: v2,
+                    tokens: TokenCount::Fixed(1),
+                    role: QueueRole::ExecutionSelfLoop(tid),
+                });
+            }
+            for (bid, buffer) in graph.buffers() {
+                let (_, producer_v2) = task_actors[buffer.producer().index()];
+                let (consumer_v1, consumer_v2) = task_actors[buffer.consumer().index()];
+                let (producer_v1, _) = task_actors[buffer.producer().index()];
+                // Data queue: producer v2 -> consumer v1, ι(b) tokens.
+                queues.push(ModelQueue {
+                    source: producer_v2,
+                    target: consumer_v1,
+                    tokens: TokenCount::Fixed(buffer.initial_tokens()),
+                    role: QueueRole::Data(bid),
+                });
+                // Space queue: consumer v2 -> producer v1, γ(b) − ι(b) tokens.
+                queues.push(ModelQueue {
+                    source: consumer_v2,
+                    target: producer_v1,
+                    tokens: TokenCount::BufferSpace(bid),
+                    role: QueueRole::Space(bid),
+                });
+            }
+            graphs.push(GraphModel {
+                graph_id: gid,
+                period: graph.period(),
+                actors,
+                queues,
+                task_actors,
+            });
+        }
+        Self { graphs }
+    }
+
+    /// The per-graph models.
+    pub fn graphs(&self) -> &[GraphModel] {
+        &self.graphs
+    }
+
+    /// The model of a specific task graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is unknown.
+    pub fn graph(&self, id: TaskGraphId) -> &GraphModel {
+        &self.graphs[id.index()]
+    }
+
+    /// Instantiates the model of one task graph into a concrete SRDF graph,
+    /// given concrete budgets (cycles) and buffer capacities (containers).
+    ///
+    /// Firing durations follow the paper exactly:
+    /// `ρ(v1) = ̺(π(w)) − β(w)` and `ρ(v2) = ̺(π(w))·χ(w)/β(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a budget or capacity is missing, if a budget is zero or
+    /// exceeds its processor's replenishment interval, or if a capacity is
+    /// smaller than the buffer's initially filled containers.
+    pub fn instantiate(
+        &self,
+        configuration: &Configuration,
+        graph_id: TaskGraphId,
+        budgets: &HashMap<TaskId, f64>,
+        capacities: &HashMap<BufferId, u64>,
+    ) -> SrdfGraph {
+        let model = self.graph(graph_id);
+        let graph = configuration.task_graph(graph_id);
+        let mut srdf = SrdfGraph::new();
+        let mut actor_ids = Vec::with_capacity(model.actors.len());
+        for actor in &model.actors {
+            let task = graph.task(actor.role.task());
+            let processor = configuration.processor(task.processor());
+            let replenishment = processor.replenishment_interval();
+            let budget = *budgets
+                .get(&actor.role.task())
+                .unwrap_or_else(|| panic!("missing budget for task {}", task.name()));
+            assert!(
+                budget > 0.0 && budget <= replenishment,
+                "budget {budget} for task {} must be in (0, {replenishment}]",
+                task.name()
+            );
+            let duration = match actor.role {
+                ActorRole::BudgetWait(_) => replenishment - budget,
+                ActorRole::Execution(_) => replenishment * task.wcet() / budget,
+            };
+            actor_ids.push(srdf.add_actor(Actor::new(actor.name.clone(), duration)));
+        }
+        for queue in &model.queues {
+            let tokens = match queue.tokens {
+                TokenCount::Fixed(t) => t,
+                TokenCount::BufferSpace(bid) => {
+                    let buffer = graph.buffer(bid);
+                    let capacity = *capacities
+                        .get(&bid)
+                        .unwrap_or_else(|| panic!("missing capacity for buffer {}", buffer.name()));
+                    assert!(
+                        capacity >= buffer.initial_tokens(),
+                        "capacity {capacity} of buffer {} is below its {} initial tokens",
+                        buffer.name(),
+                        buffer.initial_tokens()
+                    );
+                    capacity - buffer.initial_tokens()
+                }
+            };
+            srdf.add_queue(Queue::new(
+                actor_ids[queue.source],
+                actor_ids[queue.target],
+                tokens,
+            ));
+        }
+        srdf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_srdf::analysis::{maximum_cycle_ratio, CycleRatio};
+    use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+    use bbs_taskgraph::{find_buffer, find_task};
+
+    fn model_and_config() -> (DataflowModel, Configuration) {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let m = DataflowModel::build(&c);
+        (m, c)
+    }
+
+    #[test]
+    fn two_actors_per_task_and_two_queues_per_buffer() {
+        let (m, c) = model_and_config();
+        let gm = &m.graphs()[0];
+        assert_eq!(gm.actors.len(), 2 * c.task_graph(gm.graph_id).num_tasks());
+        // Per task: 1 intra queue + 1 self-loop; per buffer: data + space.
+        assert_eq!(
+            gm.queues.len(),
+            2 * c.task_graph(gm.graph_id).num_tasks()
+                + 2 * c.task_graph(gm.graph_id).num_buffers()
+        );
+        assert_eq!(gm.period, 10.0);
+    }
+
+    #[test]
+    fn queue_classes_follow_the_paper() {
+        let (m, _) = model_and_config();
+        let gm = &m.graphs()[0];
+        let e1: Vec<_> = gm.queues.iter().filter(|q| q.is_class_e1()).collect();
+        assert_eq!(e1.len(), 2, "one E1 queue per task");
+        for q in e1 {
+            assert_eq!(q.tokens, TokenCount::Fixed(0), "E1 queues are token-free");
+        }
+        let self_loops: Vec<_> = gm
+            .queues
+            .iter()
+            .filter(|q| matches!(q.role, QueueRole::ExecutionSelfLoop(_)))
+            .collect();
+        for q in self_loops {
+            assert_eq!(q.source, q.target);
+            assert_eq!(q.tokens, TokenCount::Fixed(1));
+        }
+        let space: Vec<_> = gm
+            .queues
+            .iter()
+            .filter(|q| matches!(q.role, QueueRole::Space(_)))
+            .collect();
+        assert_eq!(space.len(), 1);
+        assert!(matches!(space[0].tokens, TokenCount::BufferSpace(_)));
+    }
+
+    #[test]
+    fn buffer_queues_connect_the_right_actors() {
+        let (m, c) = model_and_config();
+        let gm = &m.graphs()[0];
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let (a1, a2) = gm.actors_of_task(wa.task);
+        let (b1, b2) = gm.actors_of_task(wb.task);
+        let data = gm
+            .queues
+            .iter()
+            .find(|q| matches!(q.role, QueueRole::Data(_)))
+            .unwrap();
+        assert_eq!((data.source, data.target), (a2, b1));
+        let space = gm
+            .queues
+            .iter()
+            .find(|q| matches!(q.role, QueueRole::Space(_)))
+            .unwrap();
+        assert_eq!((space.source, space.target), (b2, a1));
+        assert_eq!(ActorRole::BudgetWait(wa.task).task(), wa.task);
+    }
+
+    #[test]
+    fn model_is_weakly_connected_for_connected_jobs() {
+        let (m, _) = model_and_config();
+        let gm = &m.graphs()[0];
+        assert_eq!(gm.weakly_connected_components().len(), 1);
+    }
+
+    #[test]
+    fn instantiation_matches_paper_durations() {
+        let (m, c) = model_and_config();
+        let gid = TaskGraphId::new(0);
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut budgets = HashMap::new();
+        budgets.insert(wa.task, 8.0);
+        budgets.insert(wb.task, 10.0);
+        let mut capacities = HashMap::new();
+        capacities.insert(bab.buffer, 4);
+        let srdf = m.instantiate(&c, gid, &budgets, &capacities);
+        assert_eq!(srdf.num_actors(), 4);
+        assert_eq!(srdf.num_queues(), 6);
+        // Durations: wa.v1 = 40-8 = 32, wa.v2 = 40*1/8 = 5,
+        //            wb.v1 = 40-10 = 30, wb.v2 = 40*1/10 = 4.
+        let durations: Vec<f64> = srdf.actors().map(|(_, a)| a.firing_duration()).collect();
+        assert_eq!(durations, vec![32.0, 5.0, 30.0, 4.0]);
+        // Space queue carries capacity − initial = 4 tokens.
+        let total_tokens = srdf.total_tokens();
+        // 2 self-loops (1 each) + data (0) + space (4) = 6.
+        assert_eq!(total_tokens, 6);
+    }
+
+    #[test]
+    fn instantiated_graph_throughput_matches_hand_analysis() {
+        // With budgets 8/8 and capacity d the cycle ratio of the big cycle is
+        // ((40-8) + 5 + (40-8) + 5) / d = 74/d, and the self-loops contribute 5.
+        let (m, c) = model_and_config();
+        let gid = TaskGraphId::new(0);
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut budgets = HashMap::new();
+        budgets.insert(wa.task, 8.0);
+        budgets.insert(wb.task, 8.0);
+        for capacity in 1..=10u64 {
+            let mut capacities = HashMap::new();
+            capacities.insert(bab.buffer, capacity);
+            let srdf = m.instantiate(&c, gid, &budgets, &capacities);
+            let mcr = match maximum_cycle_ratio(&srdf, 1e-6) {
+                CycleRatio::Finite(v) => v,
+                other => panic!("unexpected {other:?}"),
+            };
+            let expected = (74.0 / capacity as f64).max(5.0);
+            assert!(
+                (mcr - expected).abs() < 1e-3,
+                "capacity {capacity}: got {mcr}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing budget")]
+    fn instantiate_requires_all_budgets() {
+        let (m, c) = model_and_config();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut capacities = HashMap::new();
+        capacities.insert(bab.buffer, 4);
+        let _ = m.instantiate(&c, TaskGraphId::new(0), &HashMap::new(), &capacities);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,")]
+    fn instantiate_rejects_budget_above_replenishment() {
+        let (m, c) = model_and_config();
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut budgets = HashMap::new();
+        budgets.insert(wa.task, 50.0);
+        budgets.insert(wb.task, 10.0);
+        let mut capacities = HashMap::new();
+        capacities.insert(bab.buffer, 4);
+        let _ = m.instantiate(&c, TaskGraphId::new(0), &budgets, &capacities);
+    }
+
+    #[test]
+    #[should_panic(expected = "below its")]
+    fn instantiate_rejects_capacity_below_initial_tokens() {
+        let c = {
+            let mut builder = bbs_taskgraph::ConfigurationBuilder::new();
+            builder.processor("p1", 40.0);
+            builder.processor("p2", 40.0);
+            builder.unbounded_memory("mem");
+            let job = builder.task_graph("T", 10.0);
+            job.task("wa", 1.0, "p1");
+            job.task("wb", 1.0, "p2");
+            job.buffer_detailed("bab", "wa", "wb", "mem", 1, 3, 1.0, None);
+            builder.build().unwrap()
+        };
+        let m = DataflowModel::build(&c);
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut budgets = HashMap::new();
+        budgets.insert(wa.task, 10.0);
+        budgets.insert(wb.task, 10.0);
+        let mut capacities = HashMap::new();
+        capacities.insert(bab.buffer, 2);
+        let _ = m.instantiate(&c, TaskGraphId::new(0), &budgets, &capacities);
+    }
+}

@@ -1,0 +1,110 @@
+//! Options controlling the joint budget/buffer computation.
+
+use bbs_conic::{CuttingPlaneSettings, IpmSettings};
+
+/// Which optimisation back-end solves Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// The second-order cone program solved by the primal–dual
+    /// interior-point method — the paper's approach, with polynomial
+    /// complexity.
+    #[default]
+    InteriorPoint,
+    /// An outer-approximation loop that replaces the hyperbolic constraints
+    /// by tangent cuts and solves a sequence of LPs. Used as an ablation
+    /// baseline and as an independent cross-check of the SOCP results.
+    CuttingPlane,
+}
+
+/// Options of [`crate::compute_mapping`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Optimisation back-end.
+    pub solver: SolverKind,
+    /// Interior-point solver parameters.
+    pub ipm: IpmSettings,
+    /// Cutting-plane parameters (only used by [`SolverKind::CuttingPlane`]).
+    pub cutting_plane: CuttingPlaneSettings,
+    /// Global multiplier applied to every task's budget weight `a(w)`.
+    pub budget_weight_scale: f64,
+    /// Global multiplier applied to every buffer's storage weight `b(b)`.
+    pub storage_weight_scale: f64,
+    /// Verify the rounded mapping with an independent dataflow analysis
+    /// before returning it (cheap; enabled by default).
+    pub verify: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::InteriorPoint,
+            ipm: IpmSettings::default(),
+            cutting_plane: CuttingPlaneSettings::default(),
+            budget_weight_scale: 1.0,
+            storage_weight_scale: 1.0,
+            verify: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The weight setting used in the paper's experiments: budgets are
+    /// minimised with priority, buffer storage only as a tie-breaker.
+    #[must_use]
+    pub fn prefer_budget_minimisation(mut self) -> Self {
+        self.budget_weight_scale = 1.0;
+        self.storage_weight_scale = 1e-3;
+        self
+    }
+
+    /// The opposite trade-off: minimise storage first, budgets as a
+    /// tie-breaker.
+    #[must_use]
+    pub fn prefer_storage_minimisation(mut self) -> Self {
+        self.budget_weight_scale = 1e-3;
+        self.storage_weight_scale = 1.0;
+        self
+    }
+
+    /// Selects the cutting-plane back-end.
+    #[must_use]
+    pub fn with_cutting_plane(mut self) -> Self {
+        self.solver = SolverKind::CuttingPlane;
+        self
+    }
+
+    /// Disables the post-hoc verification step (it is cheap, but exact
+    /// reproduction of solver-only timing measurements may want it off).
+    #[must_use]
+    pub fn without_verification(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_interior_point_with_verification() {
+        let o = SolveOptions::default();
+        assert_eq!(o.solver, SolverKind::InteriorPoint);
+        assert!(o.verify);
+        assert_eq!(o.budget_weight_scale, 1.0);
+        assert_eq!(o.storage_weight_scale, 1.0);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let o = SolveOptions::default()
+            .prefer_budget_minimisation()
+            .with_cutting_plane()
+            .without_verification();
+        assert_eq!(o.solver, SolverKind::CuttingPlane);
+        assert!(!o.verify);
+        assert!(o.storage_weight_scale < o.budget_weight_scale);
+        let o2 = SolveOptions::default().prefer_storage_minimisation();
+        assert!(o2.budget_weight_scale < o2.storage_weight_scale);
+    }
+}

@@ -1,0 +1,314 @@
+//! The output of the joint computation: a mapped configuration.
+
+use bbs_taskgraph::{BufferRef, Configuration, MemoryId, ProcessorId, TaskRef};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A mapped configuration: one budget per task (a multiple of the budget
+/// granularity) and one capacity per buffer (in containers), together with
+/// the raw solver values they were rounded from.
+///
+/// Use [`crate::report::mapping_to_json`] for a serialisable view keyed by
+/// task and buffer names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    budgets: BTreeMap<TaskRef, u64>,
+    raw_budgets: BTreeMap<TaskRef, f64>,
+    capacities: BTreeMap<BufferRef, u64>,
+    raw_space: BTreeMap<BufferRef, f64>,
+    objective: f64,
+    solver_iterations: usize,
+    granularity: u64,
+}
+
+impl Mapping {
+    /// Assembles a mapping from raw solver values, applying the paper's
+    /// conservative rounding: `β(w) = g·⌈β'(w)/g⌉` and
+    /// `γ(b) = ι(b) + ⌈δ'(b)⌉`.
+    ///
+    /// A tiny tolerance keeps values that are integral up to floating-point
+    /// noise from being rounded a full step up.
+    pub fn from_raw(
+        configuration: &Configuration,
+        raw_budgets: BTreeMap<TaskRef, f64>,
+        raw_space: BTreeMap<BufferRef, f64>,
+        objective: f64,
+        solver_iterations: usize,
+    ) -> Self {
+        let granularity = configuration.budget_granularity();
+        let g = granularity as f64;
+        let budgets = raw_budgets
+            .iter()
+            .map(|(&task, &beta)| (task, (g * ((beta - 1e-6) / g).ceil()).max(g) as u64))
+            .collect();
+        let capacities = raw_space
+            .iter()
+            .map(|(&buffer, &delta)| {
+                let initial = configuration
+                    .task_graph(buffer.graph)
+                    .buffer(buffer.buffer)
+                    .initial_tokens();
+                (buffer, initial + (delta - 1e-6).max(0.0).ceil() as u64)
+            })
+            .collect();
+        Self {
+            budgets,
+            raw_budgets,
+            capacities,
+            raw_space,
+            objective,
+            solver_iterations,
+            granularity,
+        }
+    }
+
+    /// The rounded budget `β(w)` of a task, in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not part of this mapping.
+    pub fn budget(&self, task: TaskRef) -> u64 {
+        self.budgets[&task]
+    }
+
+    /// The raw (pre-rounding) budget `β'(w)` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not part of this mapping.
+    pub fn raw_budget(&self, task: TaskRef) -> f64 {
+        self.raw_budgets[&task]
+    }
+
+    /// The capacity `γ(b)` of a buffer, in containers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not part of this mapping.
+    pub fn capacity(&self, buffer: BufferRef) -> u64 {
+        self.capacities[&buffer]
+    }
+
+    /// The raw (pre-rounding) free-space token count `δ'(b)` of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not part of this mapping.
+    pub fn raw_space(&self, buffer: BufferRef) -> f64 {
+        self.raw_space[&buffer]
+    }
+
+    /// Iterator over `(task, budget)` pairs.
+    pub fn budgets(&self) -> impl Iterator<Item = (TaskRef, u64)> + '_ {
+        self.budgets.iter().map(|(&t, &b)| (t, b))
+    }
+
+    /// Iterator over `(buffer, capacity)` pairs.
+    pub fn capacities(&self) -> impl Iterator<Item = (BufferRef, u64)> + '_ {
+        self.capacities.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// The objective value reported by the solver (weighted sum of raw
+    /// budgets and storage).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Interior-point (or cutting-plane LP) iterations used.
+    pub fn solver_iterations(&self) -> usize {
+        self.solver_iterations
+    }
+
+    /// The budget granularity the budgets are multiples of.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Sum of all budgets, in cycles.
+    pub fn total_budget(&self) -> u64 {
+        self.budgets.values().sum()
+    }
+
+    /// Sum of budgets allocated on one processor, in cycles.
+    pub fn budget_on_processor(&self, configuration: &Configuration, processor: ProcessorId) -> u64 {
+        self.budgets
+            .iter()
+            .filter(|(task, _)| {
+                configuration
+                    .task_graph(task.graph)
+                    .task(task.task)
+                    .processor()
+                    == processor
+            })
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Total storage (capacity times container size) of the buffers placed
+    /// in one memory.
+    pub fn storage_in_memory(&self, configuration: &Configuration, memory: MemoryId) -> u64 {
+        self.capacities
+            .iter()
+            .filter(|(buffer, _)| {
+                configuration
+                    .task_graph(buffer.graph)
+                    .buffer(buffer.buffer)
+                    .memory()
+                    == memory
+            })
+            .map(|(buffer, &c)| {
+                c * configuration
+                    .task_graph(buffer.graph)
+                    .buffer(buffer.buffer)
+                    .container_size()
+            })
+            .sum()
+    }
+
+    /// Total storage over all memories.
+    pub fn total_storage(&self, configuration: &Configuration) -> u64 {
+        configuration
+            .memories()
+            .map(|(mid, _)| self.storage_in_memory(configuration, mid))
+            .sum()
+    }
+
+    /// Looks up a budget by task name (first match across all graphs).
+    pub fn budget_of_named(&self, configuration: &Configuration, name: &str) -> Option<u64> {
+        bbs_taskgraph::find_task(configuration, name).map(|t| self.budget(t))
+    }
+
+    /// Looks up a capacity by buffer name (first match across all graphs).
+    pub fn capacity_of_named(&self, configuration: &Configuration, name: &str) -> Option<u64> {
+        bbs_taskgraph::find_buffer(configuration, name).map(|b| self.capacity(b))
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mapping (objective {:.4}, {} solver iterations):",
+            self.objective, self.solver_iterations
+        )?;
+        for (task, budget) in &self.budgets {
+            writeln!(
+                f,
+                "  task {task}: budget {budget} cycles (raw {:.3})",
+                self.raw_budgets[task]
+            )?;
+        }
+        for (buffer, capacity) in &self.capacities {
+            writeln!(
+                f,
+                "  buffer {buffer}: capacity {capacity} containers (raw space {:.3})",
+                self.raw_space[buffer]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+    use bbs_taskgraph::{find_buffer, find_task};
+
+    fn sample_mapping() -> (Configuration, Mapping) {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        let mut raw_budgets = BTreeMap::new();
+        raw_budgets.insert(wa, 36.12);
+        raw_budgets.insert(wb, 4.0 + 1e-9);
+        let mut raw_space = BTreeMap::new();
+        raw_space.insert(bab, 2.3);
+        let m = Mapping::from_raw(&c, raw_budgets, raw_space, 40.12, 11);
+        (c, m)
+    }
+
+    #[test]
+    fn rounding_is_conservative_ceiling() {
+        let (c, m) = sample_mapping();
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let bab = find_buffer(&c, "bab").unwrap();
+        assert_eq!(m.budget(wa), 37);
+        // Values integral up to floating point noise are not bumped a step.
+        assert_eq!(m.budget(wb), 4);
+        assert_eq!(m.capacity(bab), 3);
+        assert_eq!(m.raw_budget(wa), 36.12);
+        assert_eq!(m.raw_space(bab), 2.3);
+        assert_eq!(m.granularity(), 1);
+    }
+
+    #[test]
+    fn rounding_respects_granularity() {
+        let mut c = producer_consumer(PaperParameters::default(), None);
+        c.set_budget_granularity(5);
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let mut raw_budgets = BTreeMap::new();
+        raw_budgets.insert(wa, 31.0);
+        raw_budgets.insert(wb, 4.0);
+        let m = Mapping::from_raw(&c, raw_budgets, BTreeMap::new(), 0.0, 0);
+        assert_eq!(m.budget(wa), 35);
+        assert_eq!(m.budget(wb), 5);
+    }
+
+    #[test]
+    fn initial_tokens_are_added_to_capacity() {
+        let c = {
+            let mut builder = bbs_taskgraph::ConfigurationBuilder::new();
+            builder.processor("p1", 40.0);
+            builder.processor("p2", 40.0);
+            builder.unbounded_memory("mem");
+            let job = builder.task_graph("T", 10.0);
+            job.task("wa", 1.0, "p1");
+            job.task("wb", 1.0, "p2");
+            job.buffer_detailed("bab", "wa", "wb", "mem", 2, 3, 1.0, None);
+            builder.build().unwrap()
+        };
+        let bab = find_buffer(&c, "bab").unwrap();
+        let wa = find_task(&c, "wa").unwrap();
+        let wb = find_task(&c, "wb").unwrap();
+        let mut raw_budgets = BTreeMap::new();
+        raw_budgets.insert(wa, 4.0);
+        raw_budgets.insert(wb, 4.0);
+        let mut raw_space = BTreeMap::new();
+        raw_space.insert(bab, 1.5);
+        let m = Mapping::from_raw(&c, raw_budgets, raw_space, 0.0, 0);
+        assert_eq!(m.capacity(bab), 3 + 2);
+        // Storage counts containers times container size (2 units each).
+        assert_eq!(m.total_storage(&c), 10);
+    }
+
+    #[test]
+    fn aggregates_per_resource() {
+        let (c, m) = sample_mapping();
+        assert_eq!(m.total_budget(), 37 + 4);
+        let p1 = c.processors().next().unwrap().0;
+        assert_eq!(m.budget_on_processor(&c, p1), 37);
+        let mem = c.memories().next().unwrap().0;
+        assert_eq!(m.storage_in_memory(&c, mem), 3);
+        assert_eq!(m.total_storage(&c), 3);
+        assert_eq!(m.budget_of_named(&c, "wa"), Some(37));
+        assert_eq!(m.capacity_of_named(&c, "bab"), Some(3));
+        assert_eq!(m.budget_of_named(&c, "ghost"), None);
+    }
+
+    #[test]
+    fn display_and_iterators() {
+        let (_, m) = sample_mapping();
+        let text = m.to_string();
+        assert!(text.contains("budget"));
+        assert!(text.contains("capacity"));
+        assert_eq!(m.budgets().count(), 2);
+        assert_eq!(m.capacities().count(), 1);
+        assert_eq!(m.solver_iterations(), 11);
+        assert!((m.objective() - 40.12).abs() < 1e-12);
+    }
+
+}

@@ -1,0 +1,114 @@
+//! Property-based invariants of the joint budget/buffer computation on
+//! randomly generated streaming workloads.
+//!
+//! These properties are the library-level contract: whatever the workload,
+//! a mapping returned by `compute_mapping` respects every resource bound,
+//! verifies against the independent dataflow analysis, and is never worse
+//! (in optimised cost) than the two-phase baseline when both succeed.
+
+use budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
+use budget_buffer::verify::verify_mapping;
+use budget_buffer::{compute_mapping, MappingError, SolveOptions};
+use bbs_taskgraph::presets::{random_dag, RandomWorkload};
+use bbs_taskgraph::Configuration;
+use proptest::prelude::*;
+
+fn options() -> SolveOptions {
+    SolveOptions::default().prefer_budget_minimisation()
+}
+
+/// Strategy: small random streaming DAGs with varying shapes, processor
+/// counts and (sometimes) capacity caps on every buffer.
+fn workload_strategy() -> impl Strategy<Value = (Configuration, Option<u64>)> {
+    (
+        2usize..7,        // tasks
+        1usize..4,        // processors
+        0u64..3,          // cap selector: 0 = uncapped, otherwise cap = 4 + value
+        0.0f64..0.5,      // extra edge probability
+        0u64..1000,       // seed
+    )
+        .prop_map(|(tasks, processors, cap_sel, extra, seed)| {
+            let configuration = random_dag(&RandomWorkload {
+                num_tasks: tasks,
+                num_processors: processors,
+                extra_edge_probability: extra,
+                seed,
+                ..RandomWorkload::default()
+            });
+            let cap = if cap_sel == 0 { None } else { Some(4 + cap_sel) };
+            let configuration = match cap {
+                Some(c) => budget_buffer::explore::with_capacity_cap(&configuration, c),
+                None => configuration,
+            };
+            (configuration, cap)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every successfully computed mapping satisfies all resource bounds and
+    /// the independent schedule verification.
+    #[test]
+    fn mappings_respect_all_resource_bounds((configuration, cap) in workload_strategy()) {
+        let mapping = match compute_mapping(&configuration, &options()) {
+            Ok(m) => m,
+            // Tightly capped random workloads may be genuinely infeasible —
+            // that is a legitimate answer, not a property violation.
+            Err(MappingError::Infeasible { .. })
+            | Err(MappingError::ProcessorOverloaded { .. }) => return Ok(()),
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        };
+        // Budgets: positive multiples of the granularity, within the
+        // replenishment interval; processors not over-allocated.
+        for (task_ref, budget) in mapping.budgets() {
+            let task = configuration.task_graph(task_ref.graph).task(task_ref.task);
+            let processor = configuration.processor(task.processor());
+            prop_assert!(budget >= 1);
+            prop_assert_eq!(budget % configuration.budget_granularity(), 0);
+            prop_assert!((budget as f64) <= processor.replenishment_interval() + 1e-9);
+        }
+        for (pid, processor) in configuration.processors() {
+            let allocated = mapping.budget_on_processor(&configuration, pid) as f64
+                + processor.scheduling_overhead();
+            prop_assert!(allocated <= processor.replenishment_interval() + 1e-9);
+        }
+        // Capacities: at least the initial tokens, at most the cap.
+        for (buffer_ref, capacity) in mapping.capacities() {
+            let buffer = configuration
+                .task_graph(buffer_ref.graph)
+                .buffer(buffer_ref.buffer);
+            prop_assert!(capacity >= buffer.initial_tokens().max(1));
+            if let Some(c) = cap {
+                prop_assert!(capacity <= c, "capacity {capacity} exceeds the cap {c}");
+            }
+        }
+        // Independent verification must agree.
+        let report = verify_mapping(&configuration, &mapping);
+        prop_assert!(report.is_ok(), "verification failed: {report:?}");
+    }
+
+    /// When both the joint flow and the minimum-budget two-phase baseline
+    /// succeed, the joint flow never allocates more total budget (its budget
+    /// phase is exactly the baseline's objective) — and it succeeds at least
+    /// as often.
+    #[test]
+    fn joint_flow_dominates_two_phase((configuration, _cap) in workload_strategy()) {
+        let joint = compute_mapping(&configuration, &options());
+        let baseline =
+            compute_mapping_two_phase(&configuration, BudgetPolicy::ThroughputMinimum, &options());
+        match (joint, baseline) {
+            (Ok(joint), Ok(baseline)) => {
+                prop_assert!(joint.total_budget() <= baseline.mapping.total_budget());
+            }
+            (Err(_), Ok(baseline)) => {
+                return Err(TestCaseError::fail(format!(
+                    "two-phase found a mapping the joint flow missed: {baseline:?}"
+                )));
+            }
+            // Joint succeeding where the baseline fails is the paper's point;
+            // both failing is a legitimately infeasible workload.
+            (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+        }
+    }
+}

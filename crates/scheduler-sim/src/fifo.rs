@@ -1,0 +1,133 @@
+//! Bounded FIFO channel state.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime state of one bounded FIFO buffer: how many containers are
+/// currently filled, how many the buffer can hold, and the high-water mark
+/// observed so far.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoState {
+    capacity: u64,
+    filled: u64,
+    high_water_mark: u64,
+}
+
+impl FifoState {
+    /// Creates a FIFO with the given capacity and initial fill level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial fill exceeds the capacity.
+    pub fn new(capacity: u64, initially_filled: u64) -> Self {
+        assert!(
+            initially_filled <= capacity,
+            "initial fill {initially_filled} exceeds capacity {capacity}"
+        );
+        Self {
+            capacity,
+            filled: initially_filled,
+            high_water_mark: initially_filled,
+        }
+    }
+
+    /// Capacity in containers.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently filled containers.
+    pub fn filled(&self) -> u64 {
+        self.filled
+    }
+
+    /// Currently free containers.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.filled
+    }
+
+    /// Largest fill level observed since construction.
+    pub fn high_water_mark(&self) -> u64 {
+        self.high_water_mark
+    }
+
+    /// Returns `true` when at least one container holds data.
+    pub fn has_data(&self) -> bool {
+        self.filled > 0
+    }
+
+    /// Returns `true` when at least one container is free.
+    pub fn has_space(&self) -> bool {
+        self.filled < self.capacity
+    }
+
+    /// Produces one container of data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (the simulator only produces after
+    /// checking space, so this indicates a scheduling bug).
+    pub fn produce(&mut self) {
+        assert!(self.has_space(), "produce on a full FIFO");
+        self.filled += 1;
+        self.high_water_mark = self.high_water_mark.max(self.filled);
+    }
+
+    /// Consumes one container of data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn consume(&mut self) {
+        assert!(self.has_data(), "consume on an empty FIFO");
+        self.filled -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_consume_cycle() {
+        let mut f = FifoState::new(2, 0);
+        assert!(f.has_space());
+        assert!(!f.has_data());
+        f.produce();
+        f.produce();
+        assert!(!f.has_space());
+        assert_eq!(f.filled(), 2);
+        assert_eq!(f.free(), 0);
+        f.consume();
+        assert_eq!(f.filled(), 1);
+        assert_eq!(f.high_water_mark(), 2);
+        assert_eq!(f.capacity(), 2);
+    }
+
+    #[test]
+    fn initial_tokens_counted() {
+        let f = FifoState::new(4, 3);
+        assert_eq!(f.filled(), 3);
+        assert_eq!(f.free(), 1);
+        assert_eq!(f.high_water_mark(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn overfull_initialisation_rejected() {
+        let _ = FifoState::new(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "produce on a full FIFO")]
+    fn produce_on_full_panics() {
+        let mut f = FifoState::new(1, 1);
+        f.produce();
+    }
+
+    #[test]
+    #[should_panic(expected = "consume on an empty FIFO")]
+    fn consume_on_empty_panics() {
+        let mut f = FifoState::new(1, 0);
+        f.consume();
+    }
+}

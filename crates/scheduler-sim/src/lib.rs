@@ -1,0 +1,53 @@
+//! Discrete-event simulation of TDM budget schedulers.
+//!
+//! The analytic side of this workspace (`budget-buffer`, `bbs-srdf`) proves
+//! that a computed mapping satisfies its throughput requirement under the
+//! conservative dataflow model. This crate closes the loop by *executing*
+//! the mapped task graphs on simulated processors with TDM budget
+//! schedulers and bounded FIFO buffers and measuring the achieved period —
+//! the paper's platform abstraction made runnable.
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
+//! use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), bbs_scheduler_sim::SimulationError> {
+//! let configuration = producer_consumer(PaperParameters::default(), None);
+//! let budgets: BTreeMap<_, _> = configuration.all_tasks().into_iter().map(|t| (t, 8)).collect();
+//! let capacities: BTreeMap<_, _> =
+//!     configuration.all_buffers().into_iter().map(|b| (b, 10)).collect();
+//! let result = simulate_mapping(&configuration, &budgets, &capacities,
+//!                               &SimulationSettings::default())?;
+//! assert!(result.worst_period() <= 10.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fifo;
+mod sim;
+mod tdm;
+
+pub use fifo::FifoState;
+pub use sim::{simulate_mapping, SimulationError, SimulationResult, SimulationSettings};
+pub use tdm::{TdmSlot, TdmWheel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TdmWheel>();
+        assert_send_sync::<FifoState>();
+        assert_send_sync::<SimulationResult>();
+        assert_send_sync::<SimulationError>();
+        assert_send_sync::<SimulationSettings>();
+    }
+}

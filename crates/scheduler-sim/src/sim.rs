@@ -1,0 +1,520 @@
+//! Discrete-event simulation of task graphs on TDM budget schedulers.
+//!
+//! The simulator executes every task graph of a configuration on its
+//! processors: each processor runs a static TDM wheel built from the mapped
+//! budgets, tasks fire when all input buffers hold data and all output
+//! buffers have free containers, each firing executes the task's worst-case
+//! execution time inside the task's TDM slots, and tokens move at firing
+//! completion. The measured steady-state period of every task can then be
+//! compared against the throughput requirement — an end-to-end, executable
+//! check of the guarantee that the analytic mapping only promises on paper.
+
+use crate::fifo::FifoState;
+use crate::tdm::TdmWheel;
+use bbs_taskgraph::{BufferRef, Configuration, ProcessorId, TaskRef};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::fmt;
+
+/// Parameters of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationSettings {
+    /// Number of firings of every task to simulate (the measured period uses
+    /// the second half, skipping the start-up transient).
+    pub iterations: usize,
+    /// Safety bound on the number of processed events, to catch livelock in
+    /// malformed set-ups.
+    pub max_events: usize,
+}
+
+impl Default for SimulationSettings {
+    fn default() -> Self {
+        Self {
+            iterations: 64,
+            max_events: 1_000_000,
+        }
+    }
+}
+
+/// Errors reported by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// A task or buffer required by the configuration has no entry in the
+    /// supplied budgets/capacities.
+    MissingMapping {
+        /// Description of the missing entry.
+        detail: String,
+    },
+    /// The mapped budgets do not fit on a processor's TDM wheel.
+    BudgetsDoNotFit {
+        /// The overloaded processor.
+        processor: ProcessorId,
+    },
+    /// Execution stalled: no task can make progress although not every task
+    /// has finished its firings (e.g. a buffer is too small and the graph
+    /// deadlocks).
+    Deadlock {
+        /// Simulation time at which the deadlock occurred.
+        time: f64,
+    },
+    /// The event bound was exceeded.
+    EventLimit,
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::MissingMapping { detail } => {
+                write!(f, "missing mapping entry: {detail}")
+            }
+            SimulationError::BudgetsDoNotFit { processor } => {
+                write!(f, "budgets do not fit on processor {processor}")
+            }
+            SimulationError::Deadlock { time } => {
+                write!(f, "execution deadlocked at time {time}")
+            }
+            SimulationError::EventLimit => write!(f, "event limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    completion_times: BTreeMap<TaskRef, Vec<f64>>,
+    high_water_marks: BTreeMap<BufferRef, u64>,
+    total_time: f64,
+}
+
+impl SimulationResult {
+    /// Completion times of every firing of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is unknown.
+    pub fn completion_times(&self, task: TaskRef) -> &[f64] {
+        &self.completion_times[&task]
+    }
+
+    /// Measured steady-state period of a task: the average distance between
+    /// consecutive completions over the second half of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is unknown.
+    pub fn measured_period(&self, task: TaskRef) -> f64 {
+        let times = &self.completion_times[&task];
+        assert!(times.len() >= 4, "too few firings to measure a period");
+        let half = times.len() / 2;
+        (times[times.len() - 1] - times[half]) / (times.len() - 1 - half) as f64
+    }
+
+    /// The worst (largest) measured period over all tasks.
+    pub fn worst_period(&self) -> f64 {
+        self.completion_times
+            .keys()
+            .map(|&t| self.measured_period(t))
+            .fold(0.0, f64::max)
+    }
+
+    /// Highest fill level observed on a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is unknown.
+    pub fn high_water_mark(&self, buffer: BufferRef) -> u64 {
+        self.high_water_marks[&buffer]
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+}
+
+/// Event queue entry ordered by time (earliest first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompletionEvent {
+    time: f64,
+    sequence: u64,
+    task_index: usize,
+}
+
+impl Eq for CompletionEvent {}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the earliest time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates a mapped configuration.
+///
+/// `budgets` gives every task its budget in cycles, `capacities` gives every
+/// buffer its capacity in containers (the values a mapping computed by the
+/// `budget-buffer` crate provides).
+///
+/// # Errors
+///
+/// See [`SimulationError`].
+pub fn simulate_mapping(
+    configuration: &Configuration,
+    budgets: &BTreeMap<TaskRef, u64>,
+    capacities: &BTreeMap<BufferRef, u64>,
+    settings: &SimulationSettings,
+) -> Result<SimulationResult, SimulationError> {
+    // --- Flatten tasks and buffers into dense indices ----------------------
+    let tasks: Vec<TaskRef> = configuration.all_tasks();
+    let buffers: Vec<BufferRef> = configuration.all_buffers();
+    let task_index: HashMap<TaskRef, usize> =
+        tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+
+    // --- TDM wheels per processor ------------------------------------------
+    let mut wheels: HashMap<ProcessorId, TdmWheel> = HashMap::new();
+    let mut slot_of_task: Vec<usize> = vec![0; tasks.len()];
+    for (pid, processor) in configuration.processors() {
+        let on_processor = configuration.tasks_on_processor(pid);
+        if on_processor.is_empty() {
+            continue;
+        }
+        let mut slot_budgets = Vec::with_capacity(on_processor.len());
+        for (slot, task_ref) in on_processor.iter().enumerate() {
+            let budget = *budgets.get(task_ref).ok_or_else(|| {
+                SimulationError::MissingMapping {
+                    detail: format!("budget for task {task_ref}"),
+                }
+            })?;
+            slot_budgets.push(budget as f64);
+            slot_of_task[task_index[task_ref]] = slot;
+        }
+        let total: f64 = slot_budgets.iter().sum::<f64>() + processor.scheduling_overhead();
+        if total > processor.replenishment_interval() + 1e-9 {
+            return Err(SimulationError::BudgetsDoNotFit { processor: pid });
+        }
+        wheels.insert(
+            pid,
+            TdmWheel::new(processor.replenishment_interval(), &slot_budgets),
+        );
+    }
+
+    // --- FIFO states ---------------------------------------------------------
+    let mut fifos: Vec<FifoState> = Vec::with_capacity(buffers.len());
+    for buffer_ref in &buffers {
+        let buffer = configuration
+            .task_graph(buffer_ref.graph)
+            .buffer(buffer_ref.buffer);
+        let capacity = *capacities.get(buffer_ref).ok_or_else(|| {
+            SimulationError::MissingMapping {
+                detail: format!("capacity for buffer {buffer_ref}"),
+            }
+        })?;
+        if capacity < buffer.initial_tokens() {
+            return Err(SimulationError::MissingMapping {
+                detail: format!(
+                    "capacity {capacity} of buffer {buffer_ref} is below its initial tokens"
+                ),
+            });
+        }
+        fifos.push(FifoState::new(capacity, buffer.initial_tokens()));
+    }
+
+    // Input/output buffer indices per task.
+    let mut inputs: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+    let mut outputs: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+    for (buffer_pos, buffer_ref) in buffers.iter().enumerate() {
+        let buffer = configuration
+            .task_graph(buffer_ref.graph)
+            .buffer(buffer_ref.buffer);
+        let producer = TaskRef::new(buffer_ref.graph, buffer.producer());
+        let consumer = TaskRef::new(buffer_ref.graph, buffer.consumer());
+        outputs[task_index[&producer]].push(buffer_pos);
+        inputs[task_index[&consumer]].push(buffer_pos);
+    }
+
+    // --- Event loop -----------------------------------------------------------
+    let mut running: Vec<bool> = vec![false; tasks.len()];
+    let mut completions: Vec<Vec<f64>> = vec![Vec::new(); tasks.len()];
+    let mut queue: BinaryHeap<CompletionEvent> = BinaryHeap::new();
+    let mut sequence = 0u64;
+    let mut now = 0.0f64;
+    let mut events = 0usize;
+
+    let try_start = |task: usize,
+                     now: f64,
+                     fifos: &mut Vec<FifoState>,
+                     running: &mut Vec<bool>,
+                     completions: &Vec<Vec<f64>>,
+                     queue: &mut BinaryHeap<CompletionEvent>,
+                     sequence: &mut u64| {
+        if running[task] || completions[task].len() >= settings.iterations {
+            return;
+        }
+        let ready = inputs[task].iter().all(|&b| fifos[b].has_data())
+            && outputs[task].iter().all(|&b| fifos[b].has_space());
+        if !ready {
+            return;
+        }
+        let task_ref = tasks[task];
+        let graph = configuration.task_graph(task_ref.graph);
+        let task_data = graph.task(task_ref.task);
+        let wheel = &wheels[&task_data.processor()];
+        let finish = wheel.finish_time(slot_of_task[task], now, task_data.wcet());
+        running[task] = true;
+        *sequence += 1;
+        queue.push(CompletionEvent {
+            time: finish,
+            sequence: *sequence,
+            task_index: task,
+        });
+    };
+
+    // Kick off every task that can start at time zero.
+    for task in 0..tasks.len() {
+        try_start(
+            task,
+            0.0,
+            &mut fifos,
+            &mut running,
+            &completions,
+            &mut queue,
+            &mut sequence,
+        );
+    }
+
+    while let Some(event) = queue.pop() {
+        events += 1;
+        if events > settings.max_events {
+            return Err(SimulationError::EventLimit);
+        }
+        now = event.time;
+        let task = event.task_index;
+        running[task] = false;
+        // Move the tokens: consume one container from every input, produce
+        // one into every output (space was checked at start; the producer is
+        // the only writer so space cannot have disappeared).
+        for &b in &inputs[task] {
+            fifos[b].consume();
+        }
+        for &b in &outputs[task] {
+            fifos[b].produce();
+        }
+        completions[task].push(now);
+
+        // The completion may enable this task again, its consumers (new
+        // data) and its producers (new space).
+        let mut candidates = vec![task];
+        for &b in &outputs[task] {
+            let consumer = TaskRef::new(buffers[b].graph, {
+                configuration
+                    .task_graph(buffers[b].graph)
+                    .buffer(buffers[b].buffer)
+                    .consumer()
+            });
+            candidates.push(task_index[&consumer]);
+        }
+        for &b in &inputs[task] {
+            let producer = TaskRef::new(buffers[b].graph, {
+                configuration
+                    .task_graph(buffers[b].graph)
+                    .buffer(buffers[b].buffer)
+                    .producer()
+            });
+            candidates.push(task_index[&producer]);
+        }
+        for candidate in candidates {
+            try_start(
+                candidate,
+                now,
+                &mut fifos,
+                &mut running,
+                &completions,
+                &mut queue,
+                &mut sequence,
+            );
+        }
+
+        if completions.iter().all(|c| c.len() >= settings.iterations) {
+            break;
+        }
+    }
+
+    if completions.iter().any(|c| c.len() < settings.iterations) {
+        return Err(SimulationError::Deadlock { time: now });
+    }
+
+    Ok(SimulationResult {
+        completion_times: tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, completions[i].clone()))
+            .collect(),
+        high_water_marks: buffers
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, fifos[i].high_water_mark()))
+            .collect(),
+        total_time: now,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_taskgraph::presets::{chain3, producer_consumer, PaperParameters};
+    use bbs_taskgraph::{find_buffer, find_task};
+
+    fn mapping_maps(
+        configuration: &Configuration,
+        budget: u64,
+        capacity: u64,
+    ) -> (BTreeMap<TaskRef, u64>, BTreeMap<BufferRef, u64>) {
+        let budgets = configuration
+            .all_tasks()
+            .into_iter()
+            .map(|t| (t, budget))
+            .collect();
+        let capacities = configuration
+            .all_buffers()
+            .into_iter()
+            .map(|b| (b, capacity))
+            .collect();
+        (budgets, capacities)
+    }
+
+    #[test]
+    fn producer_consumer_meets_period_with_adequate_resources() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        // Budget 8 and capacity 10: the analytic model guarantees period 10;
+        // the simulated period must be at most that.
+        let (budgets, capacities) = mapping_maps(&c, 8, 10);
+        let result =
+            simulate_mapping(&c, &budgets, &capacities, &SimulationSettings::default()).unwrap();
+        assert!(result.worst_period() <= 10.0 + 1e-9);
+        assert!(result.total_time() > 0.0);
+    }
+
+    #[test]
+    fn tight_buffer_slows_the_pipeline_down() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let (budgets, small_cap) = mapping_maps(&c, 8, 1);
+        let (_, large_cap) = mapping_maps(&c, 8, 10);
+        let slow =
+            simulate_mapping(&c, &budgets, &small_cap, &SimulationSettings::default()).unwrap();
+        let fast =
+            simulate_mapping(&c, &budgets, &large_cap, &SimulationSettings::default()).unwrap();
+        assert!(
+            slow.worst_period() > fast.worst_period(),
+            "a one-container buffer must throttle the pipeline"
+        );
+    }
+
+    #[test]
+    fn measured_period_bounded_by_dataflow_model_bound() {
+        // The dataflow model predicts a period of max(ρχ/β, cycle bound);
+        // simulation of the real TDM wheel must never be slower than the
+        // conservative model in the long run. TDM execution is bursty (a
+        // task may fire β/χ times back to back inside its slot and then wait
+        // a whole interval), so the finite measurement window carries an
+        // error of up to one replenishment interval spread over the window —
+        // use a long run and a corresponding tolerance.
+        let c = producer_consumer(PaperParameters::default(), None);
+        let settings = SimulationSettings {
+            iterations: 512,
+            ..SimulationSettings::default()
+        };
+        let window_error = 40.0 / 255.0;
+        for budget in [4u64, 6, 8, 12, 20, 40] {
+            for capacity in [2u64, 4, 10] {
+                let (budgets, capacities) = mapping_maps(&c, budget, capacity);
+                let result = simulate_mapping(&c, &budgets, &capacities, &settings).unwrap();
+                let b = budget as f64;
+                // Conservative model: actors (40−β), 40/β; big cycle over γ tokens.
+                let cycle = 2.0 * ((40.0 - b) + 40.0 / b) / capacity as f64;
+                let self_loop = 40.0 / b;
+                let model_bound = cycle.max(self_loop);
+                assert!(
+                    result.worst_period() <= model_bound + window_error,
+                    "budget {budget}, capacity {capacity}: measured {} > model {model_bound}",
+                    result.worst_period()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_simulation_tracks_high_water_marks() {
+        let c = chain3(PaperParameters::default(), None);
+        let (budgets, capacities) = mapping_maps(&c, 10, 4);
+        let result =
+            simulate_mapping(&c, &budgets, &capacities, &SimulationSettings::default()).unwrap();
+        for b in c.all_buffers() {
+            assert!(result.high_water_mark(b) <= 4);
+            assert!(result.high_water_mark(b) >= 1);
+        }
+        let wa = find_task(&c, "wa").unwrap();
+        assert_eq!(result.completion_times(wa).len(), 64);
+    }
+
+    #[test]
+    fn missing_budget_is_reported() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let (_, capacities) = mapping_maps(&c, 8, 4);
+        let err = simulate_mapping(
+            &c,
+            &BTreeMap::new(),
+            &capacities,
+            &SimulationSettings::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimulationError::MissingMapping { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn overfull_processor_is_reported() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let (budgets, capacities) = mapping_maps(&c, 50, 4);
+        let err = simulate_mapping(&c, &budgets, &capacities, &SimulationSettings::default())
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::BudgetsDoNotFit { .. }));
+    }
+
+    #[test]
+    fn zero_capacity_buffer_deadlocks() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        let (budgets, mut capacities) = mapping_maps(&c, 8, 4);
+        let bab = find_buffer(&c, "bab").unwrap();
+        capacities.insert(bab, 0);
+        let err = simulate_mapping(&c, &budgets, &capacities, &SimulationSettings::default())
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn larger_budget_never_slows_down() {
+        let c = chain3(PaperParameters::default(), None);
+        let mut previous = f64::INFINITY;
+        for budget in [5u64, 10, 20, 39] {
+            let (budgets, capacities) = mapping_maps(&c, budget, 6);
+            let result =
+                simulate_mapping(&c, &budgets, &capacities, &SimulationSettings::default())
+                    .unwrap();
+            assert!(
+                result.worst_period() <= previous + 1e-9,
+                "budget {budget} slowed the pipeline down"
+            );
+            previous = result.worst_period();
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Throughput and schedule analysis of SRDF graphs.
+//!
+//! * [`maximum_cycle_ratio`] / [`critical_cycle`] — which cycle limits the
+//!   achievable period, and by how much;
+//! * [`periodic_schedule`] / [`minimum_feasible_period`] — existence and
+//!   construction of periodic admissible schedules (Reiter's condition,
+//!   Constraint 1 of the paper);
+//! * [`strongly_connected_components`] / [`has_token_free_cycle`] —
+//!   structural sanity checks.
+
+mod mcr;
+mod pas;
+mod scc;
+
+pub use mcr::{critical_cycle, maximum_cycle_ratio, CycleRatio};
+pub use pas::{minimum_feasible_period, periodic_schedule, verify_schedule, PasResult};
+pub use scc::{has_token_free_cycle, strongly_connected_components};

@@ -1,0 +1,339 @@
+//! Periodic admissible schedules (PAS).
+//!
+//! Following Reiter's classic result, an SRDF graph admits a periodic
+//! schedule `σ(v, k) = s(v) + (k−1)·ϕ` iff the start-time offsets satisfy
+//! `s(vj) ≥ s(vi) + ρ(vi) − δ(eij)·ϕ` for every queue. For a fixed period
+//! `ϕ` this is a system of difference constraints, solvable by a longest
+//! path computation (Bellman–Ford); the smallest feasible period is the
+//! maximum cycle ratio of the graph.
+
+use crate::graph::SrdfGraph;
+
+/// Result of a PAS feasibility check for a fixed period.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PasResult {
+    /// A schedule exists; the vector contains one start-time offset per
+    /// actor (indexed by actor id). Offsets are normalised so the smallest
+    /// is zero.
+    Feasible(Vec<f64>),
+    /// No schedule with the requested period exists: a cycle's total firing
+    /// duration exceeds the token count times the period.
+    Infeasible,
+}
+
+impl PasResult {
+    /// Returns `true` for [`PasResult::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, PasResult::Feasible(_))
+    }
+
+    /// The start times, if feasible.
+    pub fn start_times(&self) -> Option<&[f64]> {
+        match self {
+            PasResult::Feasible(s) => Some(s),
+            PasResult::Infeasible => None,
+        }
+    }
+}
+
+/// Checks whether a periodic admissible schedule with the given period
+/// exists and, if so, returns start-time offsets realising it.
+///
+/// # Panics
+///
+/// Panics if `period` is not strictly positive and finite.
+pub fn periodic_schedule(graph: &SrdfGraph, period: f64) -> PasResult {
+    assert!(
+        period.is_finite() && period > 0.0,
+        "schedule period must be positive and finite"
+    );
+    let n = graph.num_actors();
+    if n == 0 {
+        return PasResult::Feasible(Vec::new());
+    }
+    // Difference constraints: s(vj) − s(vi) ≥ ρ(vi) − δ(e)·period.
+    // Longest-path Bellman–Ford from an implicit super-source (all zeros).
+    let mut start = vec![0.0f64; n];
+    let edges: Vec<(usize, usize, f64)> = graph
+        .queues()
+        .map(|(_, q)| {
+            (
+                q.source().index(),
+                q.target().index(),
+                graph.actor(q.source()).firing_duration() - q.tokens() as f64 * period,
+            )
+        })
+        .collect();
+
+    // Relax |V| times; a further improvement afterwards means a positive
+    // cycle exists, i.e. the period is infeasible. A small tolerance keeps
+    // zero-weight cycles (which are legitimately tight) from being flagged
+    // by floating-point noise.
+    let tol = 1e-9 * (1.0 + period);
+    let mut changed = false;
+    for _ in 0..n {
+        changed = false;
+        for &(u, v, w) in &edges {
+            if start[u] + w > start[v] + tol {
+                start[v] = start[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if changed {
+        // One more full pass confirmed an improvement after |V| rounds.
+        let mut improvable = false;
+        for &(u, v, w) in &edges {
+            if start[u] + w > start[v] + tol {
+                improvable = true;
+                break;
+            }
+        }
+        if improvable {
+            return PasResult::Infeasible;
+        }
+    }
+    // Normalise so the earliest start is zero.
+    let min = start.iter().copied().fold(f64::INFINITY, f64::min);
+    for s in &mut start {
+        *s -= min;
+    }
+    PasResult::Feasible(start)
+}
+
+/// Verifies explicitly that the start times satisfy every PAS constraint for
+/// the given period (used by tests and by the mapping verifier).
+pub fn verify_schedule(graph: &SrdfGraph, period: f64, start_times: &[f64], tol: f64) -> bool {
+    if start_times.len() != graph.num_actors() {
+        return false;
+    }
+    graph.queues().all(|(_, q)| {
+        let lhs = start_times[q.target().index()];
+        let rhs = start_times[q.source().index()]
+            + graph.actor(q.source()).firing_duration()
+            - q.tokens() as f64 * period;
+        lhs + tol >= rhs
+    })
+}
+
+/// Smallest period (maximum cycle ratio) for which a PAS exists, computed by
+/// bisection over [`periodic_schedule`]. Returns `None` when no finite
+/// period works (the graph has a token-free cycle with positive duration).
+///
+/// The result is accurate to `tolerance` (absolute).
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not strictly positive.
+pub fn minimum_feasible_period(graph: &SrdfGraph, tolerance: f64) -> Option<f64> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    if graph.num_actors() == 0 || graph.num_queues() == 0 {
+        return Some(0.0_f64.max(tolerance));
+    }
+
+    // Upper bound: the sum of all firing durations (padded) is always at
+    // least the maximum cycle ratio of a schedulable graph; if even that is
+    // infeasible the graph has a token-free cycle with positive duration and
+    // cannot be scheduled periodically at any period.
+    let total_duration: f64 = graph
+        .actors()
+        .map(|(_, a)| a.firing_duration())
+        .sum::<f64>()
+        .max(tolerance);
+    let mut hi = total_duration * 2.0 + 1.0;
+    if !periodic_schedule(graph, hi).is_feasible() {
+        return None;
+    }
+    let mut lo = 0.0f64;
+    while hi - lo > tolerance {
+        let mid = 0.5 * (hi + lo);
+        if mid <= 0.0 {
+            break;
+        }
+        if periodic_schedule(graph, mid).is_feasible() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Actor, ActorId, Queue};
+    use proptest::prelude::*;
+
+    /// Two-actor cycle with durations 2 and 3 and `k` tokens on the back
+    /// edge: maximum cycle ratio is (2+3)/k.
+    fn cycle_graph(tokens: u64) -> SrdfGraph {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 2.0));
+        let b = g.add_actor(Actor::new("b", 3.0));
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, tokens));
+        g
+    }
+
+    #[test]
+    fn feasible_period_returns_valid_start_times() {
+        let g = cycle_graph(1);
+        match periodic_schedule(&g, 6.0) {
+            PasResult::Feasible(s) => {
+                assert!(verify_schedule(&g, 6.0, &s, 1e-9));
+                assert!(s.iter().any(|&v| v == 0.0), "normalised to zero minimum");
+            }
+            PasResult::Infeasible => panic!("period 6 ≥ MCR 5 must be feasible"),
+        }
+    }
+
+    #[test]
+    fn infeasible_period_is_rejected() {
+        let g = cycle_graph(1);
+        assert!(!periodic_schedule(&g, 4.0).is_feasible());
+        assert!(periodic_schedule(&g, 5.0).is_feasible());
+    }
+
+    #[test]
+    fn tokens_relax_the_constraint() {
+        let g = cycle_graph(2);
+        // MCR = 5/2 = 2.5.
+        assert!(periodic_schedule(&g, 2.5).is_feasible());
+        assert!(!periodic_schedule(&g, 2.4).is_feasible());
+    }
+
+    #[test]
+    fn minimum_period_matches_cycle_ratio() {
+        for tokens in 1..=4u64 {
+            let g = cycle_graph(tokens);
+            let mcr = minimum_feasible_period(&g, 1e-6).unwrap();
+            let expected = 5.0 / tokens as f64;
+            assert!(
+                (mcr - expected).abs() < 1e-4,
+                "tokens={tokens}: got {mcr}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlocked_graph_has_no_period() {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 1.0));
+        let b = g.add_actor(Actor::new("b", 1.0));
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, 0));
+        assert_eq!(minimum_feasible_period(&g, 1e-6), None);
+        assert!(!periodic_schedule(&g, 100.0).is_feasible());
+    }
+
+    #[test]
+    fn acyclic_graph_always_feasible() {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 10.0));
+        let b = g.add_actor(Actor::new("b", 1.0));
+        g.add_queue(Queue::new(a, b, 0));
+        // Any positive period admits a PAS for an acyclic graph.
+        assert!(periodic_schedule(&g, 0.001).is_feasible());
+        let s = periodic_schedule(&g, 1.0);
+        let times = s.start_times().unwrap();
+        // b must start at least 10 after a.
+        assert!(times[b.index()] >= times[a.index()] + 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn verify_schedule_rejects_bad_lengths_and_violations() {
+        let g = cycle_graph(1);
+        assert!(!verify_schedule(&g, 6.0, &[0.0], 1e-9));
+        assert!(!verify_schedule(&g, 6.0, &[0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_schedulable() {
+        let g = SrdfGraph::new();
+        assert!(periodic_schedule(&g, 1.0).is_feasible());
+        assert!(minimum_feasible_period(&g, 1e-6).is_some());
+    }
+
+    #[test]
+    fn self_loop_bounds_period_by_duration() {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 7.0));
+        g.add_queue(Queue::new(a, a, 1));
+        let mcr = minimum_feasible_period(&g, 1e-6).unwrap();
+        assert!((mcr - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let g = cycle_graph(1);
+        let _ = periodic_schedule(&g, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotonic_in_duration(d1 in 0.1f64..10.0, d2 in 0.1f64..10.0,
+                                      tokens in 1u64..5) {
+            // Scaling durations down can never increase the minimum period
+            // (temporal monotonicity of SRDF graphs).
+            let mut g = SrdfGraph::new();
+            let a = g.add_actor(Actor::new("a", d1));
+            let b = g.add_actor(Actor::new("b", d2));
+            g.add_queue(Queue::new(a, b, 0));
+            g.add_queue(Queue::new(b, a, tokens));
+            let full = minimum_feasible_period(&g, 1e-6).unwrap();
+            let reduced = minimum_feasible_period(&g.with_scaled_durations(0.5), 1e-6).unwrap();
+            prop_assert!(reduced <= full + 1e-6);
+        }
+
+        #[test]
+        fn prop_more_tokens_never_hurt(d1 in 0.1f64..10.0, d2 in 0.1f64..10.0,
+                                       tokens in 1u64..4) {
+            let make = |t: u64| {
+                let mut g = SrdfGraph::new();
+                let a = g.add_actor(Actor::new("a", d1));
+                let b = g.add_actor(Actor::new("b", d2));
+                g.add_queue(Queue::new(a, b, 0));
+                g.add_queue(Queue::new(b, a, t));
+                g
+            };
+            let fewer = minimum_feasible_period(&make(tokens), 1e-6).unwrap();
+            let more = minimum_feasible_period(&make(tokens + 1), 1e-6).unwrap();
+            prop_assert!(more <= fewer + 1e-6);
+        }
+
+        #[test]
+        fn prop_feasible_period_yields_verifiable_schedule(
+            d1 in 0.1f64..5.0, d2 in 0.1f64..5.0, d3 in 0.1f64..5.0, tokens in 1u64..4) {
+            // Three-actor ring.
+            let mut g = SrdfGraph::new();
+            let a = g.add_actor(Actor::new("a", d1));
+            let b = g.add_actor(Actor::new("b", d2));
+            let c = g.add_actor(Actor::new("c", d3));
+            g.add_queue(Queue::new(a, b, 0));
+            g.add_queue(Queue::new(b, c, 0));
+            g.add_queue(Queue::new(c, a, tokens));
+            let mcr = minimum_feasible_period(&g, 1e-7).unwrap();
+            let schedule = periodic_schedule(&g, mcr + 1e-6);
+            prop_assert!(schedule.is_feasible());
+            let times = schedule.start_times().unwrap();
+            prop_assert!(verify_schedule(&g, mcr + 1e-6, times, 1e-6));
+            // The analytic MCR of the ring is (d1+d2+d3)/tokens.
+            let expected = (d1 + d2 + d3) / tokens as f64;
+            prop_assert!((mcr - expected).abs() < 1e-4 * (1.0 + expected));
+        }
+    }
+
+    #[test]
+    fn start_times_usable_against_actor_ids() {
+        let g = cycle_graph(1);
+        let s = periodic_schedule(&g, 10.0);
+        let times = s.start_times().unwrap();
+        assert_eq!(times.len(), 2);
+        let _ = times[ActorId::new(0).index()];
+    }
+}

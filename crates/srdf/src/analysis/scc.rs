@@ -1,0 +1,181 @@
+//! Strongly connected components and structural deadlock detection.
+
+use crate::graph::{ActorId, SrdfGraph};
+
+/// Computes the strongly connected components of the graph using Tarjan's
+/// algorithm (iterative formulation). Components are returned in reverse
+/// topological order of the condensation; each component lists its actors in
+/// discovery order.
+pub fn strongly_connected_components(graph: &SrdfGraph) -> Vec<Vec<ActorId>> {
+    let n = graph.num_actors();
+    let mut adjacency = vec![Vec::new(); n];
+    for (_, q) in graph.queues() {
+        adjacency[q.source().index()].push(q.target().index());
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut components = Vec::new();
+    let mut next_index = 0usize;
+
+    // Iterative DFS frame: (node, next child position).
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adjacency[v].len() {
+                let w = adjacency[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(ActorId::new(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Returns `true` when the graph contains a cycle without any initial
+/// tokens, which means self-timed execution deadlocks (no actor on that
+/// cycle can ever fire).
+pub fn has_token_free_cycle(graph: &SrdfGraph) -> bool {
+    // Consider only the sub-graph of token-free queues; a deadlock exists
+    // iff that sub-graph has a cycle, which we detect via Kahn's algorithm.
+    let n = graph.num_actors();
+    let mut indegree = vec![0usize; n];
+    let mut adjacency = vec![Vec::new(); n];
+    for (_, q) in graph.queues() {
+        if q.tokens() == 0 {
+            adjacency[q.source().index()].push(q.target().index());
+            indegree[q.target().index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        for &w in &adjacency[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    removed != n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Actor, Queue};
+
+    fn actor(g: &mut SrdfGraph, name: &str) -> ActorId {
+        g.add_actor(Actor::new(name, 1.0))
+    }
+
+    #[test]
+    fn single_actor_no_edges() {
+        let mut g = SrdfGraph::new();
+        actor(&mut g, "a");
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert!(!has_token_free_cycle(&g));
+    }
+
+    #[test]
+    fn two_actor_cycle_is_one_component() {
+        let mut g = SrdfGraph::new();
+        let a = actor(&mut g, "a");
+        let b = actor(&mut g, "b");
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, 1));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+        assert!(!has_token_free_cycle(&g));
+    }
+
+    #[test]
+    fn chain_has_singleton_components() {
+        let mut g = SrdfGraph::new();
+        let a = actor(&mut g, "a");
+        let b = actor(&mut g, "b");
+        let c = actor(&mut g, "c");
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, c, 0));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(!has_token_free_cycle(&g));
+    }
+
+    #[test]
+    fn token_free_cycle_is_detected() {
+        let mut g = SrdfGraph::new();
+        let a = actor(&mut g, "a");
+        let b = actor(&mut g, "b");
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, 0));
+        assert!(has_token_free_cycle(&g));
+    }
+
+    #[test]
+    fn token_free_self_loop_is_detected() {
+        let mut g = SrdfGraph::new();
+        let a = actor(&mut g, "a");
+        g.add_queue(Queue::new(a, a, 0));
+        assert!(has_token_free_cycle(&g));
+        let mut g2 = SrdfGraph::new();
+        let a2 = actor(&mut g2, "a");
+        g2.add_queue(Queue::new(a2, a2, 1));
+        assert!(!has_token_free_cycle(&g2));
+    }
+
+    #[test]
+    fn nested_structure_components() {
+        // a <-> b , c <-> d, b -> c: two components of size 2.
+        let mut g = SrdfGraph::new();
+        let a = actor(&mut g, "a");
+        let b = actor(&mut g, "b");
+        let c = actor(&mut g, "c");
+        let d = actor(&mut g, "d");
+        g.add_queue(Queue::new(a, b, 1));
+        g.add_queue(Queue::new(b, a, 1));
+        g.add_queue(Queue::new(c, d, 1));
+        g.add_queue(Queue::new(d, c, 1));
+        g.add_queue(Queue::new(b, c, 0));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.iter().all(|comp| comp.len() == 2));
+    }
+}

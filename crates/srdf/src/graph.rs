@@ -1,0 +1,338 @@
+//! Single-rate dataflow graphs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an actor in an [`SrdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// Creates an identifier from a raw index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a queue (edge) in an [`SrdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueueId(pub(crate) usize);
+
+impl QueueId {
+    /// Creates an identifier from a raw index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An actor of a single-rate dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    name: String,
+    firing_duration: f64,
+}
+
+impl Actor {
+    /// Creates an actor with the given firing duration `ρ(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is negative or not finite.
+    pub fn new(name: impl Into<String>, firing_duration: f64) -> Self {
+        assert!(
+            firing_duration.is_finite() && firing_duration >= 0.0,
+            "firing duration must be non-negative and finite"
+        );
+        Self {
+            name: name.into(),
+            firing_duration,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Firing duration `ρ(v)`.
+    pub fn firing_duration(&self) -> f64 {
+        self.firing_duration
+    }
+}
+
+/// A queue (edge) of a single-rate dataflow graph with its initial tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Queue {
+    source: ActorId,
+    target: ActorId,
+    tokens: u64,
+}
+
+impl Queue {
+    /// Creates a queue from `source` to `target` carrying `tokens` initial
+    /// tokens `δ(e)`.
+    pub fn new(source: ActorId, target: ActorId, tokens: u64) -> Self {
+        Self {
+            source,
+            target,
+            tokens,
+        }
+    }
+
+    /// Producing actor.
+    pub fn source(&self) -> ActorId {
+        self.source
+    }
+
+    /// Consuming actor.
+    pub fn target(&self) -> ActorId {
+        self.target
+    }
+
+    /// Initial number of tokens `δ(e)`.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+}
+
+/// A single-rate dataflow (SRDF) graph, also known as a homogeneous SDF
+/// graph, computation graph or marked graph.
+///
+/// Every actor produces one token on each outgoing queue and consumes one
+/// token from each incoming queue per firing. The throughput of the graph is
+/// governed by its maximum cycle ratio (total firing duration over total
+/// tokens along a cycle).
+///
+/// # Example
+///
+/// ```
+/// use bbs_srdf::{Actor, Queue, SrdfGraph};
+///
+/// let mut g = SrdfGraph::new();
+/// let a = g.add_actor(Actor::new("a", 2.0));
+/// let b = g.add_actor(Actor::new("b", 3.0));
+/// g.add_queue(Queue::new(a, b, 0));
+/// g.add_queue(Queue::new(b, a, 2));
+/// assert_eq!(g.num_actors(), 2);
+/// assert_eq!(g.num_queues(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SrdfGraph {
+    actors: Vec<Actor>,
+    queues: Vec<Queue>,
+}
+
+impl SrdfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an actor, returning its identifier.
+    pub fn add_actor(&mut self, actor: Actor) -> ActorId {
+        let id = ActorId::new(self.actors.len());
+        self.actors.push(actor);
+        id
+    }
+
+    /// Adds a queue, returning its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn add_queue(&mut self, queue: Queue) -> QueueId {
+        assert!(
+            queue.source().index() < self.actors.len()
+                && queue.target().index() < self.actors.len(),
+            "queue references an unknown actor"
+        );
+        let id = QueueId::new(self.queues.len());
+        self.queues.push(queue);
+        id
+    }
+
+    /// Number of actors.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Access an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is unknown.
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.index()]
+    }
+
+    /// Access a queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is unknown.
+    pub fn queue(&self, id: QueueId) -> &Queue {
+        &self.queues[id.index()]
+    }
+
+    /// Iterator over `(ActorId, &Actor)` pairs.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId::new(i), a))
+    }
+
+    /// Iterator over `(QueueId, &Queue)` pairs.
+    pub fn queues(&self) -> impl Iterator<Item = (QueueId, &Queue)> {
+        self.queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueueId::new(i), q))
+    }
+
+    /// Queues leaving the given actor.
+    pub fn output_queues(&self, actor: ActorId) -> Vec<QueueId> {
+        self.queues()
+            .filter(|(_, q)| q.source() == actor)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Queues entering the given actor.
+    pub fn input_queues(&self, actor: ActorId) -> Vec<QueueId> {
+        self.queues()
+            .filter(|(_, q)| q.target() == actor)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Total number of initial tokens in the graph (an invariant of marked
+    /// graph execution: firings preserve the token count on every cycle).
+    pub fn total_tokens(&self) -> u64 {
+        self.queues.iter().map(Queue::tokens).sum()
+    }
+
+    /// Returns a copy of the graph with every firing duration scaled by
+    /// `factor` (useful for monotonicity experiments: scaling durations down
+    /// can never increase the maximum cycle ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn with_scaled_durations(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative and finite"
+        );
+        let mut scaled = self.clone();
+        for actor in &mut scaled.actors {
+            actor.firing_duration *= factor;
+        }
+        scaled
+    }
+}
+
+impl fmt::Display for SrdfGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SRDF graph with {} actors and {} queues",
+            self.actors.len(),
+            self.queues.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_actor_cycle() -> SrdfGraph {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 2.0));
+        let b = g.add_actor(Actor::new("b", 3.0));
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, 2));
+        g
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = two_actor_cycle();
+        assert_eq!(g.num_actors(), 2);
+        assert_eq!(g.num_queues(), 2);
+        assert_eq!(g.actor(ActorId::new(0)).name(), "a");
+        assert_eq!(g.actor(ActorId::new(1)).firing_duration(), 3.0);
+        assert_eq!(g.queue(QueueId::new(1)).tokens(), 2);
+        assert_eq!(g.total_tokens(), 2);
+        assert!(g.to_string().contains("2 actors"));
+        assert_eq!(format!("{}", ActorId::new(1)), "v1");
+        assert_eq!(format!("{}", QueueId::new(0)), "e0");
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = two_actor_cycle();
+        let a = ActorId::new(0);
+        let b = ActorId::new(1);
+        assert_eq!(g.output_queues(a), vec![QueueId::new(0)]);
+        assert_eq!(g.input_queues(a), vec![QueueId::new(1)]);
+        assert_eq!(g.output_queues(b), vec![QueueId::new(1)]);
+        assert_eq!(g.input_queues(b), vec![QueueId::new(0)]);
+    }
+
+    #[test]
+    fn scaled_durations() {
+        let g = two_actor_cycle().with_scaled_durations(0.5);
+        assert_eq!(g.actor(ActorId::new(0)).firing_duration(), 1.0);
+        assert_eq!(g.actor(ActorId::new(1)).firing_duration(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn add_queue_rejects_unknown_actor() {
+        let mut g = SrdfGraph::new();
+        g.add_actor(Actor::new("only", 1.0));
+        g.add_queue(Queue::new(ActorId::new(0), ActorId::new(5), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn actor_rejects_negative_duration() {
+        let _ = Actor::new("bad", -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = two_actor_cycle();
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<SrdfGraph>(&json).unwrap(), g);
+    }
+}

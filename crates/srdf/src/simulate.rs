@@ -1,0 +1,309 @@
+//! Self-timed execution of SRDF graphs.
+//!
+//! In self-timed execution every actor fires as soon as all of its input
+//! queues hold at least one token. For strongly consistent SRDF graphs the
+//! execution becomes periodic (possibly after a transient) and its long-run
+//! period equals the maximum cycle ratio; because SRDF graphs are
+//! temporally monotonic, any schedule derived from *worst-case* firing
+//! durations is an upper bound on arrival times in the real system. The
+//! simulator here is used to cross-validate the analytic results of
+//! [`crate::analysis`] and to measure transients.
+
+use crate::graph::{ActorId, SrdfGraph};
+
+/// Result of simulating a number of iterations of self-timed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfTimedTrace {
+    /// `start[k][v]` is the start time of the `k`-th firing (0-based) of
+    /// actor `v`.
+    start_times: Vec<Vec<f64>>,
+    /// Number of simulated iterations.
+    iterations: usize,
+}
+
+impl SelfTimedTrace {
+    /// Number of simulated iterations (firings per actor).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Start time of the `k`-th firing (0-based) of an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or the actor index is out of range.
+    pub fn start_time(&self, actor: ActorId, k: usize) -> f64 {
+        self.start_times[k][actor.index()]
+    }
+
+    /// The average period of an actor measured over the second half of the
+    /// trace (skipping the transient). Returns `None` for traces shorter
+    /// than four iterations.
+    pub fn measured_period(&self, actor: ActorId) -> Option<f64> {
+        if self.iterations < 4 {
+            return None;
+        }
+        let half = self.iterations / 2;
+        let first = self.start_times[half][actor.index()];
+        let last = self.start_times[self.iterations - 1][actor.index()];
+        Some((last - first) / (self.iterations - 1 - half) as f64)
+    }
+
+    /// The maximum over all actors of [`SelfTimedTrace::measured_period`].
+    pub fn measured_graph_period(&self) -> Option<f64> {
+        let n = self.start_times.first()?.len();
+        (0..n)
+            .map(|v| self.measured_period(ActorId::new(v)))
+            .collect::<Option<Vec<_>>>()
+            .map(|periods| periods.into_iter().fold(0.0f64, f64::max))
+    }
+}
+
+/// Error returned when the graph cannot be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationError {
+    /// The graph has a token-free cycle: no actor on that cycle can fire.
+    Deadlock,
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::Deadlock => write!(f, "graph deadlocks (token-free cycle)"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Simulates `iterations` firings of every actor under self-timed execution
+/// and returns the start times.
+///
+/// The `k`-th firing of actor `v` starts when, for every input queue
+/// `e = (u → v)` with `δ(e)` initial tokens, the `(k − δ(e))`-th firing of
+/// `u` has finished (no constraint when `k < δ(e)`). This is the standard
+/// max-plus recurrence for marked graphs with unbounded auto-concurrency;
+/// serialisation is expressed in the graph itself through self-loops, which
+/// is exactly how the budget-scheduler model of the paper uses it.
+///
+/// # Errors
+///
+/// Returns [`SimulationError::Deadlock`] when the graph has a token-free
+/// cycle.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn simulate_self_timed(
+    graph: &SrdfGraph,
+    iterations: usize,
+) -> Result<SelfTimedTrace, SimulationError> {
+    assert!(iterations > 0, "need at least one iteration");
+    if crate::analysis::has_token_free_cycle(graph) {
+        return Err(SimulationError::Deadlock);
+    }
+    let n = graph.num_actors();
+    let mut start_times: Vec<Vec<f64>> = Vec::with_capacity(iterations);
+
+    // Dependency order for same-iteration (zero-token) constraints.
+    let order = zero_token_topological_order(graph);
+
+    for k in 0..iterations {
+        let mut current = vec![0.0f64; n];
+        for &v in &order {
+            let mut earliest: f64 = 0.0;
+            for qid in graph.input_queues(ActorId::new(v)) {
+                let q = graph.queue(qid);
+                let tokens = q.tokens() as usize;
+                let producer = q.source().index();
+                let finish = if tokens > k {
+                    // The initial tokens cover this firing: no constraint.
+                    continue;
+                } else {
+                    let producer_iteration = k - tokens;
+                    let producer_start = if producer_iteration == k {
+                        current[producer]
+                    } else {
+                        start_times[producer_iteration][producer]
+                    };
+                    producer_start + graph.actor(q.source()).firing_duration()
+                };
+                earliest = earliest.max(finish);
+            }
+            current[v] = earliest;
+        }
+        start_times.push(current);
+    }
+    Ok(SelfTimedTrace {
+        start_times,
+        iterations,
+    })
+}
+
+/// Topological order of the sub-graph of zero-token queues. The graph is
+/// guaranteed to be acyclic on those edges once deadlock has been excluded.
+fn zero_token_topological_order(graph: &SrdfGraph) -> Vec<usize> {
+    let n = graph.num_actors();
+    let mut indegree = vec![0usize; n];
+    let mut adjacency = vec![Vec::new(); n];
+    for (_, q) in graph.queues() {
+        if q.tokens() == 0 {
+            adjacency[q.source().index()].push(q.target().index());
+            indegree[q.target().index()] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &w in &adjacency[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                stack.push(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "deadlock must have been excluded");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{maximum_cycle_ratio, CycleRatio};
+    use crate::graph::{Actor, Queue};
+    use proptest::prelude::*;
+
+    fn producer_consumer(buffer_tokens: u64) -> SrdfGraph {
+        // a -> b (0 tokens), b -> a (buffer_tokens), self-loops on both.
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 2.0));
+        let b = g.add_actor(Actor::new("b", 3.0));
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, buffer_tokens));
+        g.add_queue(Queue::new(a, a, 1));
+        g.add_queue(Queue::new(b, b, 1));
+        g
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut g = SrdfGraph::new();
+        let a = g.add_actor(Actor::new("a", 1.0));
+        let b = g.add_actor(Actor::new("b", 1.0));
+        g.add_queue(Queue::new(a, b, 0));
+        g.add_queue(Queue::new(b, a, 0));
+        assert_eq!(
+            simulate_self_timed(&g, 10),
+            Err(SimulationError::Deadlock)
+        );
+        assert!(!SimulationError::Deadlock.to_string().is_empty());
+    }
+
+    #[test]
+    fn first_firings_are_causally_ordered() {
+        let g = producer_consumer(4);
+        let trace = simulate_self_timed(&g, 8).unwrap();
+        let a = ActorId::new(0);
+        let b = ActorId::new(1);
+        // b's first firing waits for a's first finish (duration 2).
+        assert_eq!(trace.start_time(a, 0), 0.0);
+        assert_eq!(trace.start_time(b, 0), 2.0);
+        // a's second firing is limited by its self-loop (duration 2).
+        assert_eq!(trace.start_time(a, 1), 2.0);
+        assert_eq!(trace.iterations(), 8);
+    }
+
+    #[test]
+    fn measured_period_matches_mcr() {
+        for tokens in 1..=4u64 {
+            let g = producer_consumer(tokens);
+            let trace = simulate_self_timed(&g, 64).unwrap();
+            let measured = trace.measured_graph_period().unwrap();
+            let analytic = match maximum_cycle_ratio(&g, 1e-7) {
+                CycleRatio::Finite(v) => v,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(
+                (measured - analytic).abs() < 1e-6,
+                "tokens={tokens}: measured {measured}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn start_times_are_monotone_in_durations() {
+        // Temporal monotonicity: smaller firing durations can never lead to
+        // later start times (checked on every firing of every actor).
+        let g = producer_consumer(2);
+        let faster = g.with_scaled_durations(0.5);
+        let slow = simulate_self_timed(&g, 32).unwrap();
+        let fast = simulate_self_timed(&faster, 32).unwrap();
+        for k in 0..32 {
+            for v in 0..g.num_actors() {
+                let id = ActorId::new(v);
+                assert!(fast.start_time(id, k) <= slow.start_time(id, k) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn short_trace_has_no_period_estimate() {
+        let g = producer_consumer(1);
+        let trace = simulate_self_timed(&g, 2).unwrap();
+        assert_eq!(trace.measured_period(ActorId::new(0)), None);
+        assert_eq!(trace.measured_graph_period(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let g = producer_consumer(1);
+        let _ = simulate_self_timed(&g, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_more_initial_tokens_never_delay(d1 in 0.5f64..4.0, d2 in 0.5f64..4.0,
+                                                tokens in 1u64..4) {
+            // Monotonicity in the number of initial tokens.
+            let make = |t: u64| {
+                let mut g = SrdfGraph::new();
+                let a = g.add_actor(Actor::new("a", d1));
+                let b = g.add_actor(Actor::new("b", d2));
+                g.add_queue(Queue::new(a, b, 0));
+                g.add_queue(Queue::new(b, a, t));
+                g.add_queue(Queue::new(a, a, 1));
+                g.add_queue(Queue::new(b, b, 1));
+                g
+            };
+            let fewer = simulate_self_timed(&make(tokens), 16).unwrap();
+            let more = simulate_self_timed(&make(tokens + 1), 16).unwrap();
+            for k in 0..16 {
+                for v in 0..2 {
+                    let id = ActorId::new(v);
+                    prop_assert!(more.start_time(id, k) <= fewer.start_time(id, k) + 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_measured_period_never_exceeds_pas_period(
+            d1 in 0.5f64..4.0, d2 in 0.5f64..4.0, tokens in 1u64..4) {
+            // The self-timed execution is at least as fast as any periodic
+            // schedule: measured period ≤ minimum feasible period + ε.
+            let mut g = SrdfGraph::new();
+            let a = g.add_actor(Actor::new("a", d1));
+            let b = g.add_actor(Actor::new("b", d2));
+            g.add_queue(Queue::new(a, b, 0));
+            g.add_queue(Queue::new(b, a, tokens));
+            g.add_queue(Queue::new(a, a, 1));
+            g.add_queue(Queue::new(b, b, 1));
+            let trace = simulate_self_timed(&g, 64).unwrap();
+            let measured = trace.measured_graph_period().unwrap();
+            let analytic = crate::analysis::minimum_feasible_period(&g, 1e-7).unwrap();
+            prop_assert!(measured <= analytic + 1e-5);
+        }
+    }
+}

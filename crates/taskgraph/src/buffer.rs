@@ -1,0 +1,221 @@
+//! FIFO buffers connecting tasks.
+
+use crate::ids::{MemoryId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bounded FIFO buffer between two tasks of the same task graph.
+///
+/// A buffer `b` from task `w_a` to task `w_b` is placed in memory `ν(b)`,
+/// has a container size `ζ(b)` (data units per container), starts with
+/// `ι(b)` filled containers, and carries an objective weight `b(b)` that
+/// steers how strongly the optimiser tries to keep this buffer small. An
+/// optional maximum capacity caps the number of containers the optimiser may
+/// allocate — this is the knob used to sweep the budget/buffer trade-off in
+/// the paper's experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Buffer {
+    name: String,
+    producer: TaskId,
+    consumer: TaskId,
+    memory: MemoryId,
+    container_size: u64,
+    initial_tokens: u64,
+    storage_weight: f64,
+    max_capacity: Option<u64>,
+}
+
+impl Buffer {
+    /// Creates a buffer with unit container size, no initial tokens, unit
+    /// storage weight and no capacity cap.
+    pub fn new(
+        name: impl Into<String>,
+        producer: TaskId,
+        consumer: TaskId,
+        memory: MemoryId,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            producer,
+            consumer,
+            memory,
+            container_size: 1,
+            initial_tokens: 0,
+            storage_weight: 1.0,
+            max_capacity: None,
+        }
+    }
+
+    /// Sets the container size `ζ(b)` in data units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container size is zero.
+    #[must_use]
+    pub fn with_container_size(mut self, container_size: u64) -> Self {
+        assert!(container_size > 0, "container size must be positive");
+        self.container_size = container_size;
+        self
+    }
+
+    /// Sets the number of initially filled containers `ι(b)`.
+    #[must_use]
+    pub fn with_initial_tokens(mut self, initial_tokens: u64) -> Self {
+        self.initial_tokens = initial_tokens;
+        self
+    }
+
+    /// Sets the objective weight `b(b)` of this buffer's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative or not finite.
+    #[must_use]
+    pub fn with_storage_weight(mut self, storage_weight: f64) -> Self {
+        assert!(
+            storage_weight.is_finite() && storage_weight >= 0.0,
+            "storage weight must be non-negative and finite"
+        );
+        self.storage_weight = storage_weight;
+        self
+    }
+
+    /// Caps the capacity (number of containers) the optimiser may allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is zero.
+    #[must_use]
+    pub fn with_max_capacity(mut self, max_capacity: u64) -> Self {
+        assert!(max_capacity > 0, "maximum capacity must be positive");
+        self.max_capacity = Some(max_capacity);
+        self
+    }
+
+    /// Removes the capacity cap.
+    #[must_use]
+    pub fn without_max_capacity(mut self) -> Self {
+        self.max_capacity = None;
+        self
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing task.
+    pub fn producer(&self) -> TaskId {
+        self.producer
+    }
+
+    /// The consuming task.
+    pub fn consumer(&self) -> TaskId {
+        self.consumer
+    }
+
+    /// The memory this buffer is placed in, `ν(b)`.
+    pub fn memory(&self) -> MemoryId {
+        self.memory
+    }
+
+    /// Container size `ζ(b)` in data units.
+    pub fn container_size(&self) -> u64 {
+        self.container_size
+    }
+
+    /// Number of initially filled containers `ι(b)`.
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// Objective weight `b(b)`.
+    pub fn storage_weight(&self) -> f64 {
+        self.storage_weight
+    }
+
+    /// Optional cap on the allocated capacity, in containers.
+    pub fn max_capacity(&self) -> Option<u64> {
+        self.max_capacity
+    }
+
+    /// Returns `true` when the buffer connects a task to itself.
+    pub fn is_self_loop(&self) -> bool {
+        self.producer == self.consumer
+    }
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} (container {} units, {} initial, memory {})",
+            self.name,
+            self.producer,
+            self.consumer,
+            self.container_size,
+            self.initial_tokens,
+            self.memory
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer() -> Buffer {
+        Buffer::new("bab", TaskId::new(0), TaskId::new(1), MemoryId::new(0))
+    }
+
+    #[test]
+    fn defaults_match_paper_experiments() {
+        let b = buffer();
+        assert_eq!(b.container_size(), 1);
+        assert_eq!(b.initial_tokens(), 0);
+        assert_eq!(b.storage_weight(), 1.0);
+        assert_eq!(b.max_capacity(), None);
+        assert!(!b.is_self_loop());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let b = buffer()
+            .with_container_size(64)
+            .with_initial_tokens(2)
+            .with_storage_weight(0.25)
+            .with_max_capacity(10);
+        assert_eq!(b.container_size(), 64);
+        assert_eq!(b.initial_tokens(), 2);
+        assert_eq!(b.storage_weight(), 0.25);
+        assert_eq!(b.max_capacity(), Some(10));
+        let b = b.without_max_capacity();
+        assert_eq!(b.max_capacity(), None);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        let b = Buffer::new("loop", TaskId::new(2), TaskId::new(2), MemoryId::new(0));
+        assert!(b.is_self_loop());
+    }
+
+    #[test]
+    #[should_panic(expected = "container size must be positive")]
+    fn rejects_zero_container_size() {
+        let _ = buffer().with_container_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum capacity must be positive")]
+    fn rejects_zero_capacity_cap() {
+        let _ = buffer().with_max_capacity(0);
+    }
+
+    #[test]
+    fn display_and_serde() {
+        let b = buffer();
+        assert!(b.to_string().contains("bab"));
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<Buffer>(&json).unwrap(), b);
+    }
+}

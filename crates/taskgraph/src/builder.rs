@@ -1,0 +1,401 @@
+//! Fluent builders for configurations and task graphs.
+//!
+//! The builders are a convenience layer on top of the plain model types:
+//! they let examples and benchmarks describe platforms and jobs by name
+//! instead of by identifier, and they validate the result on
+//! [`ConfigurationBuilder::build`].
+
+use crate::buffer::Buffer;
+use crate::configuration::Configuration;
+use crate::error::ModelError;
+use crate::graph::TaskGraph;
+use crate::ids::{BufferRef, MemoryId, ProcessorId, TaskGraphId, TaskRef};
+use crate::memory::Memory;
+use crate::processor::Processor;
+use crate::task::Task;
+use std::collections::HashMap;
+
+/// Fluent builder for a whole [`Configuration`].
+///
+/// # Example
+///
+/// The paper's producer/consumer set-up (`T1`), built by name:
+///
+/// ```
+/// use bbs_taskgraph::ConfigurationBuilder;
+///
+/// # fn main() -> Result<(), bbs_taskgraph::ModelError> {
+/// let mut builder = ConfigurationBuilder::new();
+/// builder.processor("p1", 40.0);
+/// builder.processor("p2", 40.0);
+/// builder.unbounded_memory("mem");
+/// let job = builder.task_graph("T1", 10.0);
+/// job.task("wa", 1.0, "p1");
+/// job.task("wb", 1.0, "p2");
+/// job.buffer("bab", "wa", "wb", "mem");
+/// let configuration = builder.build()?;
+/// assert_eq!(configuration.num_tasks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ConfigurationBuilder {
+    configuration: Configuration,
+    processor_names: HashMap<String, ProcessorId>,
+    memory_names: HashMap<String, MemoryId>,
+    graphs: Vec<TaskGraphBuilder>,
+}
+
+impl ConfigurationBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processor with the given replenishment interval and no
+    /// scheduling overhead.
+    pub fn processor(&mut self, name: &str, replenishment_interval: f64) -> ProcessorId {
+        self.processor_with_overhead(name, replenishment_interval, 0.0)
+    }
+
+    /// Adds a processor with an explicit scheduling overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor with the same name already exists.
+    pub fn processor_with_overhead(
+        &mut self,
+        name: &str,
+        replenishment_interval: f64,
+        overhead: f64,
+    ) -> ProcessorId {
+        assert!(
+            !self.processor_names.contains_key(name),
+            "duplicate processor name '{name}'"
+        );
+        let id = self
+            .configuration
+            .add_processor(Processor::with_overhead(name, replenishment_interval, overhead));
+        self.processor_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a memory with a bounded capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a memory with the same name already exists.
+    pub fn memory(&mut self, name: &str, capacity: u64) -> MemoryId {
+        assert!(
+            !self.memory_names.contains_key(name),
+            "duplicate memory name '{name}'"
+        );
+        let id = self.configuration.add_memory(Memory::new(name, capacity));
+        self.memory_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a memory that never constrains buffer sizing.
+    pub fn unbounded_memory(&mut self, name: &str) -> MemoryId {
+        assert!(
+            !self.memory_names.contains_key(name),
+            "duplicate memory name '{name}'"
+        );
+        let id = self.configuration.add_memory(Memory::unbounded(name));
+        self.memory_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Sets the budget allocation granularity.
+    pub fn budget_granularity(&mut self, granularity: u64) -> &mut Self {
+        self.configuration.set_budget_granularity(granularity);
+        self
+    }
+
+    /// Starts a new task graph with the given throughput period and returns
+    /// a builder for it.
+    pub fn task_graph(&mut self, name: &str, period: f64) -> &mut TaskGraphBuilder {
+        self.graphs.push(TaskGraphBuilder::new(name, period));
+        self.graphs.last_mut().expect("just pushed")
+    }
+
+    /// Finalises the configuration, resolving all names and validating the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when a referenced processor, memory or task
+    /// name is unknown, or when the assembled configuration fails
+    /// [`Configuration::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task or buffer references a name that was never declared
+    /// (programming error in the calling code).
+    pub fn build(mut self) -> Result<Configuration, ModelError> {
+        for graph_builder in self.graphs.drain(..) {
+            let graph =
+                graph_builder.into_task_graph(&self.processor_names, &self.memory_names);
+            self.configuration.add_task_graph(graph);
+        }
+        self.configuration.validate()?;
+        Ok(self.configuration)
+    }
+
+    /// Resolves a task by `(graph name, task name)` after `build` has *not*
+    /// yet been called — useful for tests that need references early.
+    pub fn processor_id(&self, name: &str) -> Option<ProcessorId> {
+        self.processor_names.get(name).copied()
+    }
+
+    /// Resolves a memory by name.
+    pub fn memory_id(&self, name: &str) -> Option<MemoryId> {
+        self.memory_names.get(name).copied()
+    }
+}
+
+/// Builder for one task graph inside a [`ConfigurationBuilder`].
+#[derive(Debug)]
+pub struct TaskGraphBuilder {
+    name: String,
+    period: f64,
+    tasks: Vec<(String, f64, String, f64)>,
+    buffers: Vec<PendingBuffer>,
+}
+
+#[derive(Debug)]
+struct PendingBuffer {
+    name: String,
+    producer: String,
+    consumer: String,
+    memory: String,
+    container_size: u64,
+    initial_tokens: u64,
+    storage_weight: f64,
+    max_capacity: Option<u64>,
+}
+
+impl TaskGraphBuilder {
+    fn new(name: &str, period: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            period,
+            tasks: Vec::new(),
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Adds a task with unit budget weight.
+    pub fn task(&mut self, name: &str, wcet: f64, processor: &str) -> &mut Self {
+        self.weighted_task(name, wcet, processor, 1.0)
+    }
+
+    /// Adds a task with an explicit budget weight.
+    pub fn weighted_task(
+        &mut self,
+        name: &str,
+        wcet: f64,
+        processor: &str,
+        weight: f64,
+    ) -> &mut Self {
+        self.tasks
+            .push((name.to_string(), wcet, processor.to_string(), weight));
+        self
+    }
+
+    /// Adds a unit-container buffer with no initial tokens.
+    pub fn buffer(&mut self, name: &str, producer: &str, consumer: &str, memory: &str) -> &mut Self {
+        self.buffer_detailed(name, producer, consumer, memory, 1, 0, 1.0, None)
+    }
+
+    /// Adds a buffer with full control over its parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn buffer_detailed(
+        &mut self,
+        name: &str,
+        producer: &str,
+        consumer: &str,
+        memory: &str,
+        container_size: u64,
+        initial_tokens: u64,
+        storage_weight: f64,
+        max_capacity: Option<u64>,
+    ) -> &mut Self {
+        self.buffers.push(PendingBuffer {
+            name: name.to_string(),
+            producer: producer.to_string(),
+            consumer: consumer.to_string(),
+            memory: memory.to_string(),
+            container_size,
+            initial_tokens,
+            storage_weight,
+            max_capacity,
+        });
+        self
+    }
+
+    fn into_task_graph(
+        self,
+        processors: &HashMap<String, ProcessorId>,
+        memories: &HashMap<String, MemoryId>,
+    ) -> TaskGraph {
+        let mut graph = TaskGraph::new(&self.name, self.period);
+        let mut task_names = HashMap::new();
+        for (name, wcet, processor, weight) in &self.tasks {
+            let pid = *processors
+                .get(processor)
+                .unwrap_or_else(|| panic!("unknown processor name '{processor}'"));
+            let id = graph.add_task(Task::with_weight(name.clone(), *wcet, pid, *weight));
+            task_names.insert(name.clone(), id);
+        }
+        for pending in self.buffers {
+            let producer = *task_names
+                .get(&pending.producer)
+                .unwrap_or_else(|| panic!("unknown task name '{}'", pending.producer));
+            let consumer = *task_names
+                .get(&pending.consumer)
+                .unwrap_or_else(|| panic!("unknown task name '{}'", pending.consumer));
+            let memory = *memories
+                .get(&pending.memory)
+                .unwrap_or_else(|| panic!("unknown memory name '{}'", pending.memory));
+            let mut buffer = Buffer::new(pending.name, producer, consumer, memory)
+                .with_container_size(pending.container_size)
+                .with_initial_tokens(pending.initial_tokens)
+                .with_storage_weight(pending.storage_weight);
+            if let Some(cap) = pending.max_capacity {
+                buffer = buffer.with_max_capacity(cap);
+            }
+            graph.add_buffer(buffer);
+        }
+        graph
+    }
+}
+
+/// Finds a task by name across a configuration.
+///
+/// Returns the first match; names are expected to be unique within the
+/// configuration for this helper to be useful.
+pub fn find_task(configuration: &Configuration, name: &str) -> Option<TaskRef> {
+    for (gid, graph) in configuration.task_graphs() {
+        for (tid, task) in graph.tasks() {
+            if task.name() == name {
+                return Some(TaskRef::new(gid, tid));
+            }
+        }
+    }
+    None
+}
+
+/// Finds a buffer by name across a configuration.
+pub fn find_buffer(configuration: &Configuration, name: &str) -> Option<BufferRef> {
+    for (gid, graph) in configuration.task_graphs() {
+        for (bid, buffer) in graph.buffers() {
+            if buffer.name() == name {
+                return Some(BufferRef::new(gid, bid));
+            }
+        }
+    }
+    None
+}
+
+/// Finds a task graph by name.
+pub fn find_task_graph(configuration: &Configuration, name: &str) -> Option<TaskGraphId> {
+    configuration
+        .task_graphs()
+        .find(|(_, g)| g.name() == name)
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built() -> Configuration {
+        let mut builder = ConfigurationBuilder::new();
+        builder.processor("p1", 40.0);
+        builder.processor_with_overhead("p2", 40.0, 1.0);
+        builder.memory("sram", 1024);
+        builder.unbounded_memory("dram");
+        builder.budget_granularity(2);
+        {
+            let job = builder.task_graph("T1", 10.0);
+            job.task("wa", 1.0, "p1");
+            job.weighted_task("wb", 1.0, "p2", 3.0);
+            job.buffer("bab", "wa", "wb", "sram");
+            job.buffer_detailed("bba", "wb", "wa", "dram", 2, 1, 0.5, Some(8));
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builds_a_valid_configuration() {
+        let c = built();
+        assert_eq!(c.num_processors(), 2);
+        assert_eq!(c.num_memories(), 2);
+        assert_eq!(c.num_tasks(), 2);
+        assert_eq!(c.num_buffers(), 2);
+        assert_eq!(c.budget_granularity(), 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn name_lookup_helpers() {
+        let c = built();
+        let wa = find_task(&c, "wa").unwrap();
+        assert_eq!(c.task_graph(wa.graph).task(wa.task).name(), "wa");
+        let bba = find_buffer(&c, "bba").unwrap();
+        let buffer = c.task_graph(bba.graph).buffer(bba.buffer);
+        assert_eq!(buffer.container_size(), 2);
+        assert_eq!(buffer.initial_tokens(), 1);
+        assert_eq!(buffer.max_capacity(), Some(8));
+        assert!(find_task(&c, "nonexistent").is_none());
+        assert!(find_buffer(&c, "nonexistent").is_none());
+        assert!(find_task_graph(&c, "T1").is_some());
+        assert!(find_task_graph(&c, "T9").is_none());
+    }
+
+    #[test]
+    fn processor_and_memory_id_lookup() {
+        let mut builder = ConfigurationBuilder::new();
+        let p = builder.processor("cpu", 100.0);
+        let m = builder.memory("mem", 64);
+        assert_eq!(builder.processor_id("cpu"), Some(p));
+        assert_eq!(builder.memory_id("mem"), Some(m));
+        assert_eq!(builder.processor_id("gpu"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor name")]
+    fn duplicate_processor_names_panic() {
+        let mut builder = ConfigurationBuilder::new();
+        builder.processor("p", 10.0);
+        builder.processor("p", 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task name")]
+    fn unknown_task_reference_panics() {
+        let mut builder = ConfigurationBuilder::new();
+        builder.processor("p", 10.0);
+        builder.unbounded_memory("m");
+        {
+            let job = builder.task_graph("T", 5.0);
+            job.task("a", 1.0, "p");
+            job.buffer("bad", "a", "ghost", "m");
+        }
+        let _ = builder.build();
+    }
+
+    #[test]
+    fn build_propagates_validation_errors() {
+        // A task heavier than the period must be rejected by validation.
+        let mut builder = ConfigurationBuilder::new();
+        builder.processor("p", 40.0);
+        builder.unbounded_memory("m");
+        builder.task_graph("T", 10.0).task("heavy", 20.0, "p");
+        assert!(matches!(
+            builder.build(),
+            Err(ModelError::PeriodUnattainable { .. })
+        ));
+    }
+}

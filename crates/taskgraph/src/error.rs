@@ -1,0 +1,158 @@
+//! Validation errors for the application/platform model.
+
+use crate::ids::{BufferId, MemoryId, ProcessorId, TaskGraphId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating a configuration or task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A task graph contains no tasks.
+    EmptyTaskGraph {
+        /// Name of the offending graph.
+        graph: String,
+    },
+    /// A buffer references a task outside its graph.
+    DanglingBuffer {
+        /// Name of the offending graph.
+        graph: String,
+        /// The offending buffer.
+        buffer: BufferId,
+    },
+    /// A task is bound to a processor that does not exist.
+    UnknownProcessor {
+        /// The owning graph.
+        graph: TaskGraphId,
+        /// The offending task.
+        task: TaskId,
+        /// The missing processor.
+        processor: ProcessorId,
+    },
+    /// A buffer is placed in a memory that does not exist.
+    UnknownMemory {
+        /// The owning graph.
+        graph: TaskGraphId,
+        /// The offending buffer.
+        buffer: BufferId,
+        /// The missing memory.
+        memory: MemoryId,
+    },
+    /// The configuration has no task graphs.
+    EmptyConfiguration,
+    /// The configuration has no processors.
+    NoProcessors,
+    /// The budget allocation granularity is zero.
+    ZeroGranularity,
+    /// A task's worst-case execution time stretched over a full
+    /// replenishment interval already exceeds the required period, so no
+    /// budget (however large) can satisfy the throughput requirement.
+    PeriodUnattainable {
+        /// The owning graph.
+        graph: TaskGraphId,
+        /// The offending task.
+        task: TaskId,
+        /// The minimum period attainable for this task (with the whole
+        /// processor allocated to it).
+        minimum_period: f64,
+        /// The required period.
+        required_period: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyTaskGraph { graph } => {
+                write!(f, "task graph '{graph}' contains no tasks")
+            }
+            ModelError::DanglingBuffer { graph, buffer } => {
+                write!(f, "buffer {buffer} of task graph '{graph}' references a task outside the graph")
+            }
+            ModelError::UnknownProcessor {
+                graph,
+                task,
+                processor,
+            } => write!(
+                f,
+                "task {task} of graph {graph} is bound to unknown processor {processor}"
+            ),
+            ModelError::UnknownMemory {
+                graph,
+                buffer,
+                memory,
+            } => write!(
+                f,
+                "buffer {buffer} of graph {graph} is placed in unknown memory {memory}"
+            ),
+            ModelError::EmptyConfiguration => write!(f, "configuration contains no task graphs"),
+            ModelError::NoProcessors => write!(f, "configuration contains no processors"),
+            ModelError::ZeroGranularity => {
+                write!(f, "budget allocation granularity must be at least 1")
+            }
+            ModelError::PeriodUnattainable {
+                graph,
+                task,
+                minimum_period,
+                required_period,
+            } => write!(
+                f,
+                "task {task} of graph {graph} cannot reach the required period {required_period} \
+                 (best attainable is {minimum_period})"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::EmptyTaskGraph {
+                graph: "T1".into(),
+            },
+            ModelError::DanglingBuffer {
+                graph: "T1".into(),
+                buffer: BufferId::new(0),
+            },
+            ModelError::UnknownProcessor {
+                graph: TaskGraphId::new(0),
+                task: TaskId::new(1),
+                processor: ProcessorId::new(9),
+            },
+            ModelError::UnknownMemory {
+                graph: TaskGraphId::new(0),
+                buffer: BufferId::new(2),
+                memory: MemoryId::new(5),
+            },
+            ModelError::EmptyConfiguration,
+            ModelError::NoProcessors,
+            ModelError::ZeroGranularity,
+            ModelError::PeriodUnattainable {
+                graph: TaskGraphId::new(0),
+                task: TaskId::new(0),
+                minimum_period: 40.0,
+                required_period: 10.0,
+            },
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn period_unattainable_mentions_both_periods() {
+        let e = ModelError::PeriodUnattainable {
+            graph: TaskGraphId::new(0),
+            task: TaskId::new(3),
+            minimum_period: 80.0,
+            required_period: 10.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("80") && msg.contains("10"));
+    }
+}

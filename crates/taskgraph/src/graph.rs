@@ -1,0 +1,376 @@
+//! Task graphs: directed multigraphs of tasks connected by FIFO buffers.
+
+use crate::buffer::Buffer;
+use crate::error::ModelError;
+use crate::ids::{BufferId, TaskId};
+use crate::task::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A task graph (one streaming job) with a throughput requirement.
+///
+/// The throughput requirement is expressed as a *period* `µ(T)` in cycles:
+/// the job must be able to process one unit of work (one firing of every
+/// task) every `µ(T)` cycles in steady state. This matches the paper, which
+/// uses the period of the periodic admissible schedule of the corresponding
+/// dataflow graph.
+///
+/// Task graphs are directed multigraphs: multiple buffers between the same
+/// pair of tasks, buffer cycles and self-loops are all allowed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    period: f64,
+    tasks: Vec<Task>,
+    buffers: Vec<Buffer>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph with the given throughput period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not strictly positive and finite.
+    pub fn new(name: impl Into<String>, period: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "throughput period must be positive and finite"
+        );
+        Self {
+            name: name.into(),
+            period,
+            tasks: Vec::new(),
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Throughput requirement `µ(T)` as a period in cycles.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Adds a task, returning its identifier.
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        let id = TaskId::new(self.tasks.len());
+        self.tasks.push(task);
+        id
+    }
+
+    /// Adds a buffer, returning its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer references a task that does not exist in this
+    /// graph.
+    pub fn add_buffer(&mut self, buffer: Buffer) -> BufferId {
+        assert!(
+            buffer.producer().index() < self.tasks.len()
+                && buffer.consumer().index() < self.tasks.len(),
+            "buffer references a task that is not part of this graph"
+        );
+        let id = BufferId::new(self.buffers.len());
+        self.buffers.push(buffer);
+        id
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Access a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this graph.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Access a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this graph.
+    pub fn buffer(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.index()]
+    }
+
+    /// Mutable access to a buffer (used by trade-off sweeps to adjust
+    /// capacity caps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this graph.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut Buffer {
+        &mut self.buffers[id.index()]
+    }
+
+    /// Iterator over `(TaskId, &Task)` pairs.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::new(i), t))
+    }
+
+    /// Iterator over `(BufferId, &Buffer)` pairs.
+    pub fn buffers(&self) -> impl Iterator<Item = (BufferId, &Buffer)> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BufferId::new(i), b))
+    }
+
+    /// Buffers produced by the given task (its outgoing edges).
+    pub fn output_buffers(&self, task: TaskId) -> Vec<BufferId> {
+        self.buffers()
+            .filter(|(_, b)| b.producer() == task)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Buffers consumed by the given task (its incoming edges).
+    pub fn input_buffers(&self, task: TaskId) -> Vec<BufferId> {
+        self.buffers()
+            .filter(|(_, b)| b.consumer() == task)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Tasks with no incoming buffers (sources of the job).
+    pub fn source_tasks(&self) -> Vec<TaskId> {
+        self.tasks()
+            .map(|(id, _)| id)
+            .filter(|&id| self.input_buffers(id).is_empty())
+            .collect()
+    }
+
+    /// Tasks with no outgoing buffers (sinks of the job).
+    pub fn sink_tasks(&self) -> Vec<TaskId> {
+        self.tasks()
+            .map(|(id, _)| id)
+            .filter(|&id| self.output_buffers(id).is_empty())
+            .collect()
+    }
+
+    /// Returns `true` when every task can reach every other task ignoring
+    /// edge directions (i.e. the graph is weakly connected). The empty graph
+    /// and single-task graphs are considered connected.
+    pub fn is_weakly_connected(&self) -> bool {
+        if self.tasks.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut queue = VecDeque::new();
+        queue.push_back(0usize);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(t) = queue.pop_front() {
+            for (_, b) in self.buffers() {
+                let (p, c) = (b.producer().index(), b.consumer().index());
+                let next = if p == t && !seen[c] {
+                    Some(c)
+                } else if c == t && !seen[p] {
+                    Some(p)
+                } else {
+                    None
+                };
+                if let Some(n) = next {
+                    seen[n] = true;
+                    count += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count == self.tasks.len()
+    }
+
+    /// Weakly-connected components, each given as a sorted list of tasks.
+    pub fn weakly_connected_components(&self) -> Vec<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut component = vec![usize::MAX; n];
+        let mut next_component = 0;
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            component[start] = next_component;
+            while let Some(t) = queue.pop_front() {
+                for (_, b) in self.buffers() {
+                    let (p, c) = (b.producer().index(), b.consumer().index());
+                    for (from, to) in [(p, c), (c, p)] {
+                        if from == t && component[to] == usize::MAX {
+                            component[to] = next_component;
+                            queue.push_back(to);
+                        }
+                    }
+                }
+            }
+            next_component += 1;
+        }
+        let mut out = vec![Vec::new(); next_component];
+        for (task, &comp) in component.iter().enumerate() {
+            out[comp].push(TaskId::new(task));
+        }
+        out
+    }
+
+    /// Validates the graph structure: it must contain at least one task and
+    /// all buffer endpoints must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.tasks.is_empty() {
+            return Err(ModelError::EmptyTaskGraph {
+                graph: self.name.clone(),
+            });
+        }
+        for (id, b) in self.buffers() {
+            if b.producer().index() >= self.tasks.len() || b.consumer().index() >= self.tasks.len()
+            {
+                return Err(ModelError::DanglingBuffer {
+                    graph: self.name.clone(),
+                    buffer: id,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TaskGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} tasks, {} buffers, period {})",
+            self.name,
+            self.tasks.len(),
+            self.buffers.len(),
+            self.period
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MemoryId, ProcessorId};
+
+    fn two_task_graph() -> TaskGraph {
+        let mut g = TaskGraph::new("T1", 10.0);
+        let a = g.add_task(Task::new("wa", 1.0, ProcessorId::new(0)));
+        let b = g.add_task(Task::new("wb", 1.0, ProcessorId::new(1)));
+        g.add_buffer(Buffer::new("bab", a, b, MemoryId::new(0)));
+        g
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = two_task_graph();
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.num_buffers(), 1);
+        assert_eq!(g.period(), 10.0);
+        assert_eq!(g.name(), "T1");
+        assert_eq!(g.task(TaskId::new(0)).name(), "wa");
+        assert_eq!(g.buffer(BufferId::new(0)).name(), "bab");
+        assert!(g.to_string().contains("T1"));
+    }
+
+    #[test]
+    fn topology_queries() {
+        let g = two_task_graph();
+        let a = TaskId::new(0);
+        let b = TaskId::new(1);
+        assert_eq!(g.output_buffers(a), vec![BufferId::new(0)]);
+        assert_eq!(g.input_buffers(b), vec![BufferId::new(0)]);
+        assert!(g.input_buffers(a).is_empty());
+        assert_eq!(g.source_tasks(), vec![a]);
+        assert_eq!(g.sink_tasks(), vec![b]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = two_task_graph();
+        assert!(g.is_weakly_connected());
+        assert_eq!(g.weakly_connected_components().len(), 1);
+
+        let mut disconnected = TaskGraph::new("T", 5.0);
+        disconnected.add_task(Task::new("x", 1.0, ProcessorId::new(0)));
+        disconnected.add_task(Task::new("y", 1.0, ProcessorId::new(0)));
+        assert!(!disconnected.is_weakly_connected());
+        assert_eq!(disconnected.weakly_connected_components().len(), 2);
+    }
+
+    #[test]
+    fn buffer_mut_allows_cap_updates() {
+        let mut g = two_task_graph();
+        *g.buffer_mut(BufferId::new(0)) =
+            g.buffer(BufferId::new(0)).clone().with_max_capacity(5);
+        assert_eq!(g.buffer(BufferId::new(0)).max_capacity(), Some(5));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(two_task_graph().validate().is_ok());
+        let empty = TaskGraph::new("empty", 1.0);
+        assert!(matches!(
+            empty.validate(),
+            Err(ModelError::EmptyTaskGraph { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this graph")]
+    fn add_buffer_rejects_unknown_task() {
+        let mut g = TaskGraph::new("T", 1.0);
+        g.add_task(Task::new("only", 1.0, ProcessorId::new(0)));
+        g.add_buffer(Buffer::new(
+            "bad",
+            TaskId::new(0),
+            TaskId::new(7),
+            MemoryId::new(0),
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn rejects_non_positive_period() {
+        let _ = TaskGraph::new("T", 0.0);
+    }
+
+    #[test]
+    fn multigraph_and_self_loops_supported() {
+        let mut g = TaskGraph::new("T", 10.0);
+        let a = g.add_task(Task::new("a", 1.0, ProcessorId::new(0)));
+        let b = g.add_task(Task::new("b", 1.0, ProcessorId::new(0)));
+        g.add_buffer(Buffer::new("b1", a, b, MemoryId::new(0)));
+        g.add_buffer(Buffer::new("b2", a, b, MemoryId::new(0)));
+        g.add_buffer(Buffer::new("loop", b, b, MemoryId::new(0)));
+        assert_eq!(g.num_buffers(), 3);
+        assert_eq!(g.output_buffers(a).len(), 2);
+        assert!(g.buffer(BufferId::new(2)).is_self_loop());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = two_task_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<TaskGraph>(&json).unwrap(), g);
+    }
+}

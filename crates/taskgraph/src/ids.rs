@@ -1,0 +1,168 @@
+//! Strongly-typed identifiers for the application and platform model.
+//!
+//! All identifiers are plain indices into the owning collection, wrapped in
+//! newtypes so that tasks, buffers, processors, memories and task graphs can
+//! never be confused with one another (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw index into the owning collection.
+            pub fn index(&self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a task within its task graph.
+    TaskId,
+    "w"
+);
+define_id!(
+    /// Identifier of a FIFO buffer within its task graph.
+    BufferId,
+    "b"
+);
+define_id!(
+    /// Identifier of a processor in the platform.
+    ProcessorId,
+    "p"
+);
+define_id!(
+    /// Identifier of a memory in the platform.
+    MemoryId,
+    "m"
+);
+define_id!(
+    /// Identifier of a task graph within a configuration.
+    TaskGraphId,
+    "T"
+);
+
+/// A task reference that is unique across a whole configuration: the task
+/// graph it belongs to plus the task-local identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskRef {
+    /// The owning task graph.
+    pub graph: TaskGraphId,
+    /// The task within that graph.
+    pub task: TaskId,
+}
+
+impl TaskRef {
+    /// Creates a task reference.
+    pub fn new(graph: TaskGraphId, task: TaskId) -> Self {
+        Self { graph, task }
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.task)
+    }
+}
+
+/// A buffer reference that is unique across a whole configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BufferRef {
+    /// The owning task graph.
+    pub graph: TaskGraphId,
+    /// The buffer within that graph.
+    pub buffer: BufferId,
+}
+
+impl BufferRef {
+    /// Creates a buffer reference.
+    pub fn new(graph: TaskGraphId, buffer: BufferId) -> Self {
+        Self { graph, buffer }
+    }
+}
+
+impl fmt::Display for BufferRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_roundtrip_through_usize() {
+        let t = TaskId::new(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(usize::from(t), 3);
+        assert_eq!(TaskId::from(3), t);
+    }
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(TaskId::new(0).to_string(), "w0");
+        assert_eq!(BufferId::new(1).to_string(), "b1");
+        assert_eq!(ProcessorId::new(2).to_string(), "p2");
+        assert_eq!(MemoryId::new(3).to_string(), "m3");
+        assert_eq!(TaskGraphId::new(4).to_string(), "T4");
+        assert_eq!(
+            TaskRef::new(TaskGraphId::new(0), TaskId::new(1)).to_string(),
+            "T0.w1"
+        );
+        assert_eq!(
+            BufferRef::new(TaskGraphId::new(2), BufferId::new(0)).to_string(),
+            "T2.b0"
+        );
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TaskId::new(0));
+        set.insert(TaskId::new(0));
+        set.insert(TaskId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(TaskId::new(0) < TaskId::new(1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = TaskRef::new(TaskGraphId::new(1), TaskId::new(2));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TaskRef = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,75 @@
+//! Application and platform model for throughput-constrained streaming jobs.
+//!
+//! This crate models the *input* of the joint budget/buffer computation of
+//! Wiggers et al. (DATE 2010):
+//!
+//! * [`Configuration`] — the tuple `C = (Q, P, M, µ, ̺, o, ς, g)`:
+//!   task graphs, processors with budget (TDM) schedulers, memories, and the
+//!   budget allocation granularity;
+//! * [`TaskGraph`] — a streaming job: a directed multigraph of [`Task`]s
+//!   connected by bounded FIFO [`Buffer`]s, with a throughput requirement
+//!   expressed as a period `µ(T)`;
+//! * [`ConfigurationBuilder`] — a fluent, name-based builder used by the
+//!   examples and benchmarks;
+//! * [`presets`] — the paper's experimental set-ups (`T1`, `T2`) and random
+//!   workload generators for scaling studies.
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+//!
+//! let configuration = producer_consumer(PaperParameters::default(), Some(10));
+//! assert_eq!(configuration.num_tasks(), 2);
+//! assert!(configuration.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod builder;
+mod configuration;
+mod error;
+mod graph;
+mod ids;
+mod memory;
+mod processor;
+mod task;
+
+pub mod presets;
+
+pub use buffer::Buffer;
+pub use builder::{find_buffer, find_task, find_task_graph, ConfigurationBuilder, TaskGraphBuilder};
+pub use configuration::Configuration;
+pub use error::ModelError;
+pub use graph::TaskGraph;
+pub use ids::{BufferId, BufferRef, MemoryId, ProcessorId, TaskGraphId, TaskId, TaskRef};
+pub use memory::Memory;
+pub use processor::Processor;
+pub use task::Task;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Configuration>();
+        assert_send_sync::<TaskGraph>();
+        assert_send_sync::<Task>();
+        assert_send_sync::<Buffer>();
+        assert_send_sync::<Processor>();
+        assert_send_sync::<Memory>();
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn crate_example_runs() {
+        let configuration =
+            presets::producer_consumer(presets::PaperParameters::default(), Some(10));
+        assert_eq!(configuration.num_tasks(), 2);
+        assert!(configuration.validate().is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Memories holding FIFO buffers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory with a bounded storage capacity.
+///
+/// FIFO buffers are placed in memories; the sum of the storage taken by the
+/// buffers placed in a memory `m` (number of containers times container
+/// size) must not exceed the capacity `ς(m)` (Constraint 10 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    name: String,
+    capacity: u64,
+}
+
+impl Memory {
+    /// Creates a memory with the given storage capacity (in the same data
+    /// unit used for container sizes, e.g. bytes or words).
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        Self {
+            name: name.into(),
+            capacity,
+        }
+    }
+
+    /// Creates a memory that is large enough to never constrain buffer
+    /// sizing (useful for experiments that only study the budget/buffer
+    /// trade-off, like the paper's Figures 2 and 3).
+    pub fn unbounded(name: impl Into<String>) -> Self {
+        Self::new(name, u64::MAX / 4)
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Storage capacity `ς(m)`.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Returns `true` when the memory was created with
+    /// [`Memory::unbounded`] (or an equally enormous capacity) and therefore
+    /// never constrains buffer sizing. Analyses skip capacity constraints
+    /// for such memories so the optimisation stays well-scaled.
+    pub fn is_unbounded(&self) -> bool {
+        self.capacity >= u64::MAX / 4
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (capacity {})", self.name, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Memory::new("sram0", 4096);
+        assert_eq!(m.name(), "sram0");
+        assert_eq!(m.capacity(), 4096);
+        assert!(m.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn unbounded_memory_is_huge() {
+        let m = Memory::unbounded("dram");
+        assert!(m.capacity() > 1 << 60);
+        assert!(m.is_unbounded());
+        assert!(!Memory::new("sram", 4096).is_unbounded());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Memory::new("sram1", 128);
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<Memory>(&json).unwrap(), m);
+    }
+}

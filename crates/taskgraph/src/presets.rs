@@ -1,0 +1,371 @@
+//! Ready-made configurations: the paper's experimental set-ups and random
+//! workload generators for scaling studies.
+
+use crate::builder::ConfigurationBuilder;
+use crate::configuration::Configuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters shared by the paper's two experiments: 40 Mcycle replenishment
+/// intervals, 1 Mcycle worst-case execution times and a 10 Mcycle period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParameters {
+    /// Replenishment interval `̺(p)` of every processor, in cycles.
+    pub replenishment_interval: f64,
+    /// Worst-case execution time `χ(w)` of every task, in cycles.
+    pub wcet: f64,
+    /// Throughput requirement `µ(T)` as a period, in cycles.
+    pub period: f64,
+}
+
+impl Default for PaperParameters {
+    fn default() -> Self {
+        Self {
+            replenishment_interval: 40.0,
+            wcet: 1.0,
+            period: 10.0,
+        }
+    }
+}
+
+/// The producer/consumer task graph `T1` of the paper's first experiment
+/// (Figure 1 / Figure 2): two tasks on two processors connected by a single
+/// buffer with unit containers, all initially empty.
+///
+/// `max_buffer_capacity` caps the buffer (in containers); pass `None` to let
+/// the optimiser choose freely.
+///
+/// # Example
+///
+/// ```
+/// use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+/// let c = producer_consumer(PaperParameters::default(), Some(4));
+/// assert_eq!(c.num_tasks(), 2);
+/// assert_eq!(c.num_buffers(), 1);
+/// ```
+pub fn producer_consumer(
+    params: PaperParameters,
+    max_buffer_capacity: Option<u64>,
+) -> Configuration {
+    let mut builder = ConfigurationBuilder::new();
+    builder.processor("p1", params.replenishment_interval);
+    builder.processor("p2", params.replenishment_interval);
+    builder.unbounded_memory("mem");
+    {
+        let job = builder.task_graph("T1", params.period);
+        job.task("wa", params.wcet, "p1");
+        job.task("wb", params.wcet, "p2");
+        job.buffer_detailed("bab", "wa", "wb", "mem", 1, 0, 1.0, max_buffer_capacity);
+    }
+    builder.build().expect("producer/consumer preset is valid")
+}
+
+/// The three-task chain `T2` of the paper's second experiment (Figure 3):
+/// `wa → wb → wc` on three processors, with both buffers capped at the same
+/// maximum capacity.
+pub fn chain3(params: PaperParameters, max_buffer_capacity: Option<u64>) -> Configuration {
+    chain(3, params, max_buffer_capacity)
+}
+
+/// A chain of `n ≥ 2` tasks, each on its own processor, with every buffer
+/// capped at `max_buffer_capacity` containers (if given).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn chain(n: usize, params: PaperParameters, max_buffer_capacity: Option<u64>) -> Configuration {
+    assert!(n >= 2, "a chain needs at least two tasks");
+    let mut builder = ConfigurationBuilder::new();
+    for i in 0..n {
+        builder.processor(&format!("p{}", i + 1), params.replenishment_interval);
+    }
+    builder.unbounded_memory("mem");
+    {
+        let job = builder.task_graph("chain", params.period);
+        for i in 0..n {
+            job.task(&task_name(i), params.wcet, &format!("p{}", i + 1));
+        }
+        for i in 0..n - 1 {
+            job.buffer_detailed(
+                &format!("b{}{}", task_name(i), task_name(i + 1)),
+                &task_name(i),
+                &task_name(i + 1),
+                "mem",
+                1,
+                0,
+                1.0,
+                max_buffer_capacity,
+            );
+        }
+    }
+    builder.build().expect("chain preset is valid")
+}
+
+/// A ring of `n ≥ 2` tasks (a chain closed by a feedback buffer carrying
+/// `initial_tokens` initially filled containers). Rings exercise cyclic
+/// dependencies, which the paper's formulation supports through the generic
+/// PAS constraints.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or if `initial_tokens == 0` (a token-free cycle
+/// deadlocks).
+pub fn ring(
+    n: usize,
+    params: PaperParameters,
+    initial_tokens: u64,
+    max_buffer_capacity: Option<u64>,
+) -> Configuration {
+    assert!(n >= 2, "a ring needs at least two tasks");
+    assert!(initial_tokens > 0, "a token-free cycle deadlocks");
+    let mut builder = ConfigurationBuilder::new();
+    for i in 0..n {
+        builder.processor(&format!("p{}", i + 1), params.replenishment_interval);
+    }
+    builder.unbounded_memory("mem");
+    {
+        let job = builder.task_graph("ring", params.period);
+        for i in 0..n {
+            job.task(&task_name(i), params.wcet, &format!("p{}", i + 1));
+        }
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let tokens = if next == 0 { initial_tokens } else { 0 };
+            job.buffer_detailed(
+                &format!("b{}{}", task_name(i), task_name(next)),
+                &task_name(i),
+                &task_name(next),
+                "mem",
+                1,
+                tokens,
+                1.0,
+                max_buffer_capacity,
+            );
+        }
+    }
+    builder.build().expect("ring preset is valid")
+}
+
+/// Parameters of the random workload generator used by the scaling
+/// experiments (E4 in DESIGN.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomWorkload {
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Number of processors to spread the tasks over.
+    pub num_processors: usize,
+    /// Probability of adding a forward edge between two consecutive "layers".
+    pub extra_edge_probability: f64,
+    /// Replenishment interval of every processor.
+    pub replenishment_interval: f64,
+    /// Worst-case execution time range (uniform).
+    pub wcet_range: (f64, f64),
+    /// Throughput period of the generated graph.
+    pub period: f64,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for RandomWorkload {
+    fn default() -> Self {
+        Self {
+            num_tasks: 8,
+            num_processors: 4,
+            extra_edge_probability: 0.3,
+            replenishment_interval: 40.0,
+            wcet_range: (0.5, 2.0),
+            period: 10.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random, weakly-connected, acyclic streaming job: a chain
+/// backbone (guaranteeing connectivity and a path from source to sink) plus
+/// random forward edges, with tasks spread round-robin over the processors.
+///
+/// # Panics
+///
+/// Panics if `num_tasks < 2` or `num_processors == 0`.
+pub fn random_dag(params: &RandomWorkload) -> Configuration {
+    assert!(params.num_tasks >= 2, "need at least two tasks");
+    assert!(params.num_processors >= 1, "need at least one processor");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut builder = ConfigurationBuilder::new();
+    for p in 0..params.num_processors {
+        builder.processor(&format!("p{p}"), params.replenishment_interval);
+    }
+    builder.unbounded_memory("mem");
+    {
+        let job = builder.task_graph("random", params.period);
+        for t in 0..params.num_tasks {
+            let wcet = rng.gen_range(params.wcet_range.0..=params.wcet_range.1);
+            // Keep every task individually attainable: χ(w) ≤ µ(T).
+            let wcet = wcet.min(params.period * 0.9);
+            job.task(&task_name(t), wcet, &format!("p{}", t % params.num_processors));
+        }
+        // Chain backbone.
+        for t in 0..params.num_tasks - 1 {
+            job.buffer(
+                &format!("b{}_{}", t, t + 1),
+                &task_name(t),
+                &task_name(t + 1),
+                "mem",
+            );
+        }
+        // Random extra forward edges (skip length ≥ 2 to stay a multigraph
+        // of distinct shapes rather than duplicating backbone edges).
+        for src in 0..params.num_tasks {
+            for dst in (src + 2)..params.num_tasks {
+                if rng.gen_bool(params.extra_edge_probability) {
+                    job.buffer(
+                        &format!("x{src}_{dst}"),
+                        &task_name(src),
+                        &task_name(dst),
+                        "mem",
+                    );
+                }
+            }
+        }
+    }
+    builder.build().expect("random DAG preset is valid")
+}
+
+fn task_name(i: usize) -> String {
+    format!("w{}", (b'a' + (i % 26) as u8) as char)
+        + &(if i >= 26 {
+            (i / 26).to_string()
+        } else {
+            String::new()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{find_buffer, find_task};
+
+    #[test]
+    fn producer_consumer_matches_paper_setup() {
+        let c = producer_consumer(PaperParameters::default(), None);
+        assert_eq!(c.num_tasks(), 2);
+        assert_eq!(c.num_buffers(), 1);
+        assert_eq!(c.num_processors(), 2);
+        let wa = find_task(&c, "wa").unwrap();
+        let task = c.task_graph(wa.graph).task(wa.task);
+        assert_eq!(task.wcet(), 1.0);
+        assert_eq!(
+            c.processor(task.processor()).replenishment_interval(),
+            40.0
+        );
+        assert_eq!(c.task_graph(wa.graph).period(), 10.0);
+        // Tasks are on different processors.
+        let wb = find_task(&c, "wb").unwrap();
+        assert_ne!(
+            c.task_graph(wa.graph).task(wa.task).processor(),
+            c.task_graph(wb.graph).task(wb.task).processor()
+        );
+    }
+
+    #[test]
+    fn producer_consumer_capacity_cap_is_applied() {
+        let c = producer_consumer(PaperParameters::default(), Some(3));
+        let b = find_buffer(&c, "bab").unwrap();
+        assert_eq!(c.task_graph(b.graph).buffer(b.buffer).max_capacity(), Some(3));
+    }
+
+    #[test]
+    fn chain3_matches_paper_second_experiment() {
+        let c = chain3(PaperParameters::default(), Some(5));
+        assert_eq!(c.num_tasks(), 3);
+        assert_eq!(c.num_buffers(), 2);
+        assert_eq!(c.num_processors(), 3);
+        for r in c.all_buffers() {
+            assert_eq!(c.task_graph(r.graph).buffer(r.buffer).max_capacity(), Some(5));
+        }
+    }
+
+    #[test]
+    fn chain_is_connected_for_various_lengths() {
+        for n in 2..8 {
+            let c = chain(n, PaperParameters::default(), None);
+            assert_eq!(c.num_tasks(), n);
+            assert_eq!(c.num_buffers(), n - 1);
+            let (_, graph) = c.task_graphs().next().unwrap();
+            assert!(graph.is_weakly_connected());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tasks")]
+    fn chain_rejects_single_task() {
+        let _ = chain(1, PaperParameters::default(), None);
+    }
+
+    #[test]
+    fn ring_has_cycle_with_tokens() {
+        let c = ring(4, PaperParameters::default(), 2, None);
+        assert_eq!(c.num_buffers(), 4);
+        let (_, graph) = c.task_graphs().next().unwrap();
+        // Exactly one buffer carries the initial tokens closing the ring.
+        let with_tokens: Vec<_> = graph
+            .buffers()
+            .filter(|(_, b)| b.initial_tokens() > 0)
+            .collect();
+        assert_eq!(with_tokens.len(), 1);
+        assert_eq!(with_tokens[0].1.initial_tokens(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "token-free cycle")]
+    fn ring_rejects_zero_tokens() {
+        let _ = ring(3, PaperParameters::default(), 0, None);
+    }
+
+    #[test]
+    fn random_dag_is_reproducible_and_valid() {
+        let params = RandomWorkload {
+            num_tasks: 10,
+            seed: 42,
+            ..RandomWorkload::default()
+        };
+        let a = random_dag(&params);
+        let b = random_dag(&params);
+        assert_eq!(a, b, "same seed must give the same workload");
+        assert!(a.validate().is_ok());
+        assert_eq!(a.num_tasks(), 10);
+        assert!(a.num_buffers() >= 9);
+        let (_, graph) = a.task_graphs().next().unwrap();
+        assert!(graph.is_weakly_connected());
+    }
+
+    #[test]
+    fn random_dag_different_seeds_differ() {
+        let a = random_dag(&RandomWorkload {
+            seed: 1,
+            ..RandomWorkload::default()
+        });
+        let b = random_dag(&RandomWorkload {
+            seed: 2,
+            ..RandomWorkload::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn task_names_do_not_collide_for_large_graphs() {
+        let params = RandomWorkload {
+            num_tasks: 60,
+            num_processors: 4,
+            extra_edge_probability: 0.0,
+            ..RandomWorkload::default()
+        };
+        let c = random_dag(&params);
+        assert_eq!(c.num_tasks(), 60);
+        let (_, graph) = c.task_graphs().next().unwrap();
+        let mut names: Vec<_> = graph.tasks().map(|(_, t)| t.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 60, "task names must be unique");
+    }
+}

@@ -1,0 +1,132 @@
+//! Processors with budget (TDM) schedulers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor running a budget scheduler.
+///
+/// Following the paper, a processor `p` is characterised by its
+/// replenishment interval `̺(p)` (the period of the TDM wheel, in cycles)
+/// and the worst-case scheduling overhead `o(p)` incurred per replenishment
+/// interval. Budgets allocated to the tasks bound to `p` must fit inside the
+/// replenishment interval together with the overhead (Constraint 9).
+///
+/// Times are expressed in abstract cycles (the paper uses Mcycles); the unit
+/// only has to be consistent across the whole configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    name: String,
+    replenishment_interval: f64,
+    scheduling_overhead: f64,
+}
+
+impl Processor {
+    /// Creates a processor with the given replenishment interval and zero
+    /// scheduling overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replenishment interval is not strictly positive or not
+    /// finite.
+    pub fn new(name: impl Into<String>, replenishment_interval: f64) -> Self {
+        Self::with_overhead(name, replenishment_interval, 0.0)
+    }
+
+    /// Creates a processor with an explicit worst-case scheduling overhead
+    /// per replenishment interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replenishment interval is not strictly positive, if the
+    /// overhead is negative, or if either is not finite.
+    pub fn with_overhead(
+        name: impl Into<String>,
+        replenishment_interval: f64,
+        scheduling_overhead: f64,
+    ) -> Self {
+        assert!(
+            replenishment_interval.is_finite() && replenishment_interval > 0.0,
+            "replenishment interval must be positive and finite"
+        );
+        assert!(
+            scheduling_overhead.is_finite() && scheduling_overhead >= 0.0,
+            "scheduling overhead must be non-negative and finite"
+        );
+        Self {
+            name: name.into(),
+            replenishment_interval,
+            scheduling_overhead,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replenishment interval `̺(p)` in cycles.
+    pub fn replenishment_interval(&self) -> f64 {
+        self.replenishment_interval
+    }
+
+    /// Worst-case scheduling overhead `o(p)` per replenishment interval.
+    pub fn scheduling_overhead(&self) -> f64 {
+        self.scheduling_overhead
+    }
+
+    /// Cycles per replenishment interval that remain allocatable to budgets.
+    pub fn allocatable_capacity(&self) -> f64 {
+        (self.replenishment_interval - self.scheduling_overhead).max(0.0)
+    }
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (replenishment {} cycles, overhead {} cycles)",
+            self.name, self.replenishment_interval, self.scheduling_overhead
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Processor::new("p1", 40.0);
+        assert_eq!(p.name(), "p1");
+        assert_eq!(p.replenishment_interval(), 40.0);
+        assert_eq!(p.scheduling_overhead(), 0.0);
+        assert_eq!(p.allocatable_capacity(), 40.0);
+    }
+
+    #[test]
+    fn overhead_reduces_allocatable_capacity() {
+        let p = Processor::with_overhead("p2", 40.0, 2.5);
+        assert_eq!(p.allocatable_capacity(), 37.5);
+        assert!(p.to_string().contains("p2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_replenishment() {
+        let _ = Processor::new("bad", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_overhead() {
+        let _ = Processor::with_overhead("bad", 40.0, -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Processor::with_overhead("dsp", 80.0, 1.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Processor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,141 @@
+//! Tasks of a streaming job.
+
+use crate::ids::ProcessorId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A task of a task graph.
+///
+/// A task `w` is bound to a processor `π(w)`, has a worst-case execution
+/// time `χ(w)` (in cycles, per firing) and a non-negative weight `a(w)` used
+/// in the objective function of the joint budget/buffer optimisation
+/// (larger weight means the optimiser tries harder to reduce this task's
+/// budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    name: String,
+    wcet: f64,
+    processor: ProcessorId,
+    budget_weight: f64,
+}
+
+impl Task {
+    /// Creates a task with unit budget weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worst-case execution time is not strictly positive and
+    /// finite.
+    pub fn new(name: impl Into<String>, wcet: f64, processor: ProcessorId) -> Self {
+        Self::with_weight(name, wcet, processor, 1.0)
+    }
+
+    /// Creates a task with an explicit budget weight `a(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worst-case execution time is not strictly positive and
+    /// finite, or if the weight is negative or not finite.
+    pub fn with_weight(
+        name: impl Into<String>,
+        wcet: f64,
+        processor: ProcessorId,
+        budget_weight: f64,
+    ) -> Self {
+        assert!(
+            wcet.is_finite() && wcet > 0.0,
+            "worst-case execution time must be positive and finite"
+        );
+        assert!(
+            budget_weight.is_finite() && budget_weight >= 0.0,
+            "budget weight must be non-negative and finite"
+        );
+        Self {
+            name: name.into(),
+            wcet,
+            processor,
+            budget_weight,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case execution time `χ(w)` per firing, in cycles.
+    pub fn wcet(&self) -> f64 {
+        self.wcet
+    }
+
+    /// Processor binding `π(w)`.
+    pub fn processor(&self) -> ProcessorId {
+        self.processor
+    }
+
+    /// Objective weight `a(w)` of this task's budget.
+    pub fn budget_weight(&self) -> f64 {
+        self.budget_weight
+    }
+
+    /// Overrides the budget weight, returning the modified task.
+    #[must_use]
+    pub fn weighted(mut self, budget_weight: f64) -> Self {
+        assert!(
+            budget_weight.is_finite() && budget_weight >= 0.0,
+            "budget weight must be non-negative and finite"
+        );
+        self.budget_weight = budget_weight;
+        self
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (wcet {} on {}, weight {})",
+            self.name, self.wcet, self.processor, self.budget_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Task::new("decode", 1.0, ProcessorId::new(0));
+        assert_eq!(t.name(), "decode");
+        assert_eq!(t.wcet(), 1.0);
+        assert_eq!(t.processor(), ProcessorId::new(0));
+        assert_eq!(t.budget_weight(), 1.0);
+    }
+
+    #[test]
+    fn weighted_overrides_weight() {
+        let t = Task::new("mix", 2.0, ProcessorId::new(1)).weighted(5.0);
+        assert_eq!(t.budget_weight(), 5.0);
+        assert!(t.to_string().contains("mix"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_wcet() {
+        let _ = Task::new("bad", 0.0, ProcessorId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let _ = Task::with_weight("bad", 1.0, ProcessorId::new(0), -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Task::with_weight("fft", 3.5, ProcessorId::new(2), 0.5);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<Task>(&json).unwrap(), t);
+    }
+}

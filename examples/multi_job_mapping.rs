@@ -1,0 +1,129 @@
+//! A multi-job mapping scenario: several streams share processors and a
+//! scarce on-chip memory, and the result is validated end-to-end on the TDM
+//! scheduler simulator.
+//!
+//! This is the situation the paper's introduction motivates (car
+//! entertainment / smart-phone systems running several concurrent jobs):
+//! budgets and buffer capacities have to be balanced *together* because the
+//! jobs compete both for processor cycles and for buffer memory.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_job_mapping
+//! ```
+
+use budget_buffer_suite::budget_buffer::report::format_table;
+use budget_buffer_suite::budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
+use budget_buffer_suite::budget_buffer::verify::verify_mapping;
+use budget_buffer_suite::budget_buffer::{compute_mapping, SolveOptions};
+use budget_buffer_suite::scheduler_sim::{simulate_mapping, SimulationSettings};
+use budget_buffer_suite::taskgraph::ConfigurationBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two processors, a small shared SRAM for the buffers, three jobs:
+    // an audio pipeline, a video pipeline and a control stream.
+    let mut builder = ConfigurationBuilder::new();
+    builder.processor("dsp", 40.0);
+    builder.processor("cpu", 40.0);
+    builder.memory("sram", 24);
+    {
+        let audio = builder.task_graph("audio", 10.0);
+        audio.task("aud_src", 1.0, "dsp");
+        audio.task("aud_sink", 1.0, "cpu");
+        audio.buffer("aud_buf", "aud_src", "aud_sink", "sram");
+    }
+    {
+        let video = builder.task_graph("video", 12.0);
+        video.task("vid_decode", 2.0, "dsp");
+        video.task("vid_render", 1.5, "cpu");
+        video.buffer("vid_buf", "vid_decode", "vid_render", "sram");
+    }
+    {
+        let control = builder.task_graph("control", 20.0);
+        control.task("ctl_in", 0.5, "cpu");
+        control.task("ctl_out", 0.5, "dsp");
+        control.buffer("ctl_buf", "ctl_in", "ctl_out", "sram");
+    }
+    let configuration = builder.build()?;
+
+    let options = SolveOptions::default().prefer_budget_minimisation();
+    let mapping = compute_mapping(&configuration, &options)?;
+
+    // --- Print the mapped configuration. -----------------------------------
+    let mut rows = Vec::new();
+    for (task, budget) in mapping.budgets() {
+        let graph = configuration.task_graph(task.graph);
+        rows.push(vec![
+            graph.name().to_string(),
+            graph.task(task.task).name().to_string(),
+            configuration
+                .processor(graph.task(task.task).processor())
+                .name()
+                .to_string(),
+            budget.to_string(),
+        ]);
+    }
+    println!("Per-task budgets (cycles per 40-cycle replenishment interval):\n");
+    println!(
+        "{}",
+        format_table(&["job", "task", "processor", "budget"], &rows)
+    );
+
+    let mut buffer_rows = Vec::new();
+    for (buffer, capacity) in mapping.capacities() {
+        let graph = configuration.task_graph(buffer.graph);
+        buffer_rows.push(vec![
+            graph.name().to_string(),
+            graph.buffer(buffer.buffer).name().to_string(),
+            capacity.to_string(),
+        ]);
+    }
+    println!("Buffer capacities (containers in the 24-unit SRAM):\n");
+    println!(
+        "{}",
+        format_table(&["job", "buffer", "capacity"], &buffer_rows)
+    );
+
+    // --- Verify analytically and by simulation. -----------------------------
+    let report = verify_mapping(&configuration, &mapping)?;
+    for graph in &report.graphs {
+        println!(
+            "job {}: required period {}, attainable {:.3}",
+            configuration.task_graph(graph.graph).name(),
+            graph.required_period,
+            graph.attainable_period.unwrap_or(f64::NAN)
+        );
+    }
+    let budgets = mapping.budgets().collect();
+    let capacities = mapping.capacities().collect();
+    let sim = simulate_mapping(
+        &configuration,
+        &budgets,
+        &capacities,
+        &SimulationSettings {
+            iterations: 256,
+            ..SimulationSettings::default()
+        },
+    )?;
+    println!(
+        "\nTDM simulation over {:.0} cycles: worst measured period {:.3} cycles",
+        sim.total_time(),
+        sim.worst_period()
+    );
+
+    // --- Contrast with the classic two-phase flow. ---------------------------
+    match compute_mapping_two_phase(&configuration, BudgetPolicy::FairShare, &options) {
+        Ok(outcome) => println!(
+            "\nTwo-phase (fair-share) flow also succeeds but allocates {} budget cycles \
+             (joint: {}).",
+            outcome.mapping.total_budget(),
+            mapping.total_budget()
+        ),
+        Err(e) => println!(
+            "\nTwo-phase (fair-share) flow fails on this system: {e}\n\
+             The joint formulation finds a mapping anyway — the false negative the paper fixes."
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! The paper's first experiment (Figures 2a and 2b): sweep the maximum
+//! buffer capacity of the producer/consumer job and watch the required
+//! budgets shrink non-linearly.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example producer_consumer_tradeoff
+//! ```
+
+use budget_buffer_suite::budget_buffer::explore::sweep_buffer_capacity;
+use budget_buffer_suite::budget_buffer::report::{derivative_table, tradeoff_table};
+use budget_buffer_suite::budget_buffer::SolveOptions;
+use budget_buffer_suite::taskgraph::presets::{producer_consumer, PaperParameters};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let configuration = producer_consumer(PaperParameters::default(), None);
+    let options = SolveOptions::default().prefer_budget_minimisation();
+
+    println!("Budget / buffer-size trade-off for the producer/consumer job");
+    println!("(replenishment 40 Mcycles, wcet 1 Mcycle, period 10 Mcycles)\n");
+
+    let points = sweep_buffer_capacity(&configuration, 1..=10, &options)?;
+    println!("{}", tradeoff_table(&configuration, &points));
+
+    println!("Budget reduction per additional container (the non-linear 'knee'):\n");
+    println!("{}", derivative_table(&points));
+
+    let best = points.last().expect("sweep is non-empty");
+    println!(
+        "A capacity of {} containers minimises the budgets at {} Mcycles per task.",
+        best.capacity_cap,
+        best.mapping
+            .budget_of_named(&configuration, "wa")
+            .expect("task wa exists"),
+    );
+    Ok(())
+}

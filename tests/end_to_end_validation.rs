@@ -1,0 +1,141 @@
+//! End-to-end validation: analytic mappings hold up under execution.
+//!
+//! For every computed mapping these tests (1) re-verify the throughput with
+//! the independent SRDF analysis, and (2) execute the mapped task graphs on
+//! the discrete-event TDM scheduler simulator and compare the measured
+//! period with the requirement. This closes the loop between the paper's
+//! conservative dataflow model and an actual budget-scheduled execution.
+
+use budget_buffer_suite::budget_buffer::explore::with_capacity_cap;
+use budget_buffer_suite::budget_buffer::verify::verify_mapping;
+use budget_buffer_suite::budget_buffer::{compute_mapping, SolveOptions};
+use budget_buffer_suite::scheduler_sim::{simulate_mapping, SimulationSettings};
+use budget_buffer_suite::srdf::analysis::{maximum_cycle_ratio, CycleRatio};
+use budget_buffer_suite::srdf::{Actor, Queue, SrdfGraph};
+use budget_buffer_suite::taskgraph::presets::{
+    chain, producer_consumer, random_dag, PaperParameters, RandomWorkload,
+};
+use budget_buffer_suite::taskgraph::Configuration;
+use std::collections::BTreeMap;
+
+fn options() -> SolveOptions {
+    SolveOptions::default().prefer_budget_minimisation()
+}
+
+fn simulate(configuration: &Configuration, mapping: &budget_buffer_suite::budget_buffer::Mapping) -> f64 {
+    let budgets: BTreeMap<_, _> = mapping.budgets().collect();
+    let capacities: BTreeMap<_, _> = mapping.capacities().collect();
+    let settings = SimulationSettings {
+        iterations: 256,
+        ..SimulationSettings::default()
+    };
+    simulate_mapping(configuration, &budgets, &capacities, &settings)
+        .expect("mapped configuration must execute without deadlock")
+        .worst_period()
+}
+
+/// Producer/consumer across the whole capacity sweep: the measured period of
+/// the TDM execution never exceeds the requirement (up to the bursty-window
+/// measurement error of one replenishment interval over the window).
+#[test]
+fn producer_consumer_mappings_hold_under_execution() {
+    let window_error = 40.0 / 127.0;
+    for capacity in 1..=10u64 {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), capacity);
+        let mapping = compute_mapping(&configuration, &options()).unwrap();
+        verify_mapping(&configuration, &mapping).unwrap();
+        let measured = simulate(&configuration, &mapping);
+        assert!(
+            measured <= 10.0 + window_error,
+            "capacity {capacity}: measured period {measured} exceeds the requirement"
+        );
+    }
+}
+
+/// Longer chains (4–6 tasks) with moderate buffer caps.
+#[test]
+fn chains_meet_their_period_under_execution() {
+    let window_error = 40.0 / 127.0;
+    for n in 4..=6usize {
+        let configuration =
+            with_capacity_cap(&chain(n, PaperParameters::default(), None), 6);
+        let mapping = compute_mapping(&configuration, &options()).unwrap();
+        let measured = simulate(&configuration, &mapping);
+        assert!(
+            measured <= 10.0 + window_error,
+            "{n}-task chain: measured {measured}"
+        );
+    }
+}
+
+/// Random DAGs from the scaling workload generator: solve, verify, execute.
+#[test]
+fn random_dags_verify_and_execute() {
+    for seed in [3u64, 11, 29] {
+        let params = RandomWorkload {
+            num_tasks: 10,
+            num_processors: 4,
+            extra_edge_probability: 0.25,
+            seed,
+            ..RandomWorkload::default()
+        };
+        let configuration = random_dag(&params);
+        let mapping = compute_mapping(&configuration, &options()).unwrap();
+        let report = verify_mapping(&configuration, &mapping).unwrap();
+        for graph in &report.graphs {
+            if let Some(attainable) = graph.attainable_period {
+                assert!(attainable <= graph.required_period + 1e-5, "seed {seed}");
+            }
+        }
+        let measured = simulate(&configuration, &mapping);
+        assert!(
+            measured <= 10.0 + 40.0 / 127.0,
+            "seed {seed}: measured {measured}"
+        );
+    }
+}
+
+/// The rounded mapping instantiated as an SRDF graph has a maximum cycle
+/// ratio of at most the required period — the conservativeness argument of
+/// Section IV reproduced numerically through the public APIs.
+#[test]
+fn rounding_is_conservative_in_the_dataflow_model() {
+    let configuration = producer_consumer(PaperParameters::default(), Some(3));
+    let mapping = compute_mapping(&configuration, &options()).unwrap();
+    // Rebuild the two-actor model by hand from the mapped values.
+    let budget = mapping.budget_of_named(&configuration, "wa").unwrap() as f64;
+    let capacity = mapping.capacity_of_named(&configuration, "bab").unwrap();
+    let mut srdf = SrdfGraph::new();
+    let a1 = srdf.add_actor(Actor::new("a1", 40.0 - budget));
+    let a2 = srdf.add_actor(Actor::new("a2", 40.0 / budget));
+    let b1 = srdf.add_actor(Actor::new("b1", 40.0 - budget));
+    let b2 = srdf.add_actor(Actor::new("b2", 40.0 / budget));
+    srdf.add_queue(Queue::new(a1, a2, 0));
+    srdf.add_queue(Queue::new(a2, a2, 1));
+    srdf.add_queue(Queue::new(b1, b2, 0));
+    srdf.add_queue(Queue::new(b2, b2, 1));
+    srdf.add_queue(Queue::new(a2, b1, 0));
+    srdf.add_queue(Queue::new(b2, a1, capacity));
+    match maximum_cycle_ratio(&srdf, 1e-6) {
+        CycleRatio::Finite(mcr) => assert!(mcr <= 10.0 + 1e-5, "MCR {mcr} exceeds the period"),
+        other => panic!("unexpected analysis result {other:?}"),
+    }
+}
+
+/// Budget granularity is respected end to end and coarser granularities never
+/// break the guarantee.
+#[test]
+fn granularity_respected_end_to_end() {
+    for granularity in [1u64, 2, 4] {
+        let mut configuration = producer_consumer(PaperParameters::default(), Some(6));
+        configuration.set_budget_granularity(granularity);
+        let mapping = compute_mapping(&configuration, &options()).unwrap();
+        for (_, budget) in mapping.budgets() {
+            assert_eq!(budget % granularity, 0);
+        }
+        verify_mapping(&configuration, &mapping).unwrap();
+        let measured = simulate(&configuration, &mapping);
+        assert!(measured <= 10.0 + 40.0 / 127.0, "granularity {granularity}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests reproducing the paper's experiments end to end.
+//!
+//! These tests assert the *shape* of every result reported in Section V of
+//! the paper (absolute numbers are recorded in `EXPERIMENTS.md`).
+
+use budget_buffer_suite::budget_buffer::explore::{
+    budget_reduction_series, sweep_buffer_capacity,
+};
+use budget_buffer_suite::budget_buffer::{compute_mapping, SolveOptions};
+use budget_buffer_suite::taskgraph::presets::{chain3, producer_consumer, PaperParameters};
+
+fn options() -> SolveOptions {
+    SolveOptions::default().prefer_budget_minimisation()
+}
+
+/// Figure 2(a): the budget needed by the producer/consumer job decreases
+/// non-linearly with the buffer capacity and reaches its floor of
+/// `̺·χ/µ = 4` Mcycles at 10 containers.
+#[test]
+fn figure_2a_budget_buffer_tradeoff() {
+    let configuration = producer_consumer(PaperParameters::default(), None);
+    let points = sweep_buffer_capacity(&configuration, 1..=10, &options()).unwrap();
+    assert_eq!(points.len(), 10);
+
+    // Both tasks always get the same budget (the instance is symmetric).
+    for point in &points {
+        let wa = point.mapping.budget_of_named(&configuration, "wa").unwrap();
+        let wb = point.mapping.budget_of_named(&configuration, "wb").unwrap();
+        assert_eq!(wa, wb, "capacity {}", point.capacity_cap);
+    }
+
+    // Monotonically decreasing budgets.
+    let budgets: Vec<u64> = points
+        .iter()
+        .map(|p| p.mapping.budget_of_named(&configuration, "wa").unwrap())
+        .collect();
+    for w in budgets.windows(2) {
+        assert!(w[1] <= w[0], "budgets must not increase with more buffer space");
+    }
+
+    // End points: ≈36.1 → 37 rounded at one container; the floor of 4 at ten
+    // containers (the paper: "a buffer capacity of 10 containers minimises
+    // the budgets").
+    assert_eq!(budgets[0], 37);
+    assert_eq!(budgets[9], 4);
+    assert!(budgets[4] < budgets[0] && budgets[4] > budgets[9]);
+}
+
+/// Figure 2(b): the per-container budget reduction is positive and
+/// (weakly) diminishing towards the tail of the sweep — the trade-off is
+/// non-linear, which is the paper's headline observation.
+#[test]
+fn figure_2b_budget_reduction_is_nonlinear() {
+    let configuration = producer_consumer(PaperParameters::default(), None);
+    let points = sweep_buffer_capacity(&configuration, 1..=10, &options()).unwrap();
+    let deltas = budget_reduction_series(&points);
+    assert_eq!(deltas.len(), 9);
+    assert!(deltas.iter().all(|&d| d >= 0.0));
+    assert!(deltas.iter().any(|&d| d > 0.0));
+    // Non-linearity: the reductions are not all equal.
+    let first = deltas[0];
+    assert!(
+        deltas.iter().any(|&d| (d - first).abs() > 0.5),
+        "a linear trade-off would contradict the paper: {deltas:?}"
+    );
+    // The marginal benefit at the end of the sweep is smaller than at the start.
+    assert!(deltas[deltas.len() - 1] < deltas[0]);
+}
+
+/// Figure 3: in the chain `wa → wb → wc` the budgets of the outer tasks are
+/// reduced before the budget of the middle task, because `wb` interacts with
+/// two buffers.
+#[test]
+fn figure_3_topology_dependence() {
+    let configuration = chain3(PaperParameters::default(), None);
+    let points = sweep_buffer_capacity(&configuration, 1..=10, &options()).unwrap();
+    let mut middle_was_larger_somewhere = false;
+    for point in &points {
+        let wa = point.mapping.budget_of_named(&configuration, "wa").unwrap();
+        let wb = point.mapping.budget_of_named(&configuration, "wb").unwrap();
+        let wc = point.mapping.budget_of_named(&configuration, "wc").unwrap();
+        assert_eq!(wa, wc, "outer tasks are symmetric (capacity {})", point.capacity_cap);
+        assert!(
+            wb + 1 >= wa,
+            "the middle task must not be starved before the outer ones"
+        );
+        if wb > wa + 5 {
+            middle_was_larger_somewhere = true;
+        }
+    }
+    assert!(
+        middle_was_larger_somewhere,
+        "for scarce buffers the middle task must keep a clearly larger budget"
+    );
+    // At ten containers everything reaches the 4 Mcycle floor.
+    let last = points.last().unwrap();
+    for name in ["wa", "wb", "wc"] {
+        assert_eq!(last.mapping.budget_of_named(&configuration, name), Some(4));
+    }
+}
+
+/// Section V run-time claim: each joint solve takes milliseconds (we allow a
+/// generous bound to stay robust on slow CI machines, the point is the order
+/// of magnitude, not the exact figure).
+#[test]
+fn run_time_is_interactive() {
+    let configuration = producer_consumer(PaperParameters::default(), Some(5));
+    let start = std::time::Instant::now();
+    let mapping = compute_mapping(&configuration, &options()).unwrap();
+    let elapsed = start.elapsed();
+    assert!(mapping.total_budget() > 0);
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "a single solve took {elapsed:?}, far beyond 'milliseconds'"
+    );
+}
+
+/// Changing the objective weights moves along the trade-off curve, as the
+/// paper's "different trade-offs can be made by changing the coefficients"
+/// remark promises.
+#[test]
+fn weights_select_different_tradeoffs() {
+    let configuration = producer_consumer(PaperParameters::default(), None);
+    let budget_first = compute_mapping(&configuration, &options()).unwrap();
+    let storage_first = compute_mapping(
+        &configuration,
+        &SolveOptions::default().prefer_storage_minimisation(),
+    )
+    .unwrap();
+    assert!(budget_first.total_budget() < storage_first.total_budget());
+    assert!(
+        budget_first.total_storage(&configuration) > storage_first.total_storage(&configuration)
+    );
+}
