@@ -34,12 +34,8 @@ fn bench_full_sweep(c: &mut Criterion) {
     let options = paper_options();
     c.bench_function("fig2a_full_sweep_1_to_10", |b| {
         b.iter(|| {
-            sweep_buffer_capacity(
-                black_box(&configuration),
-                PAPER_CAPACITY_RANGE,
-                &options,
-            )
-            .unwrap()
+            sweep_buffer_capacity(black_box(&configuration), PAPER_CAPACITY_RANGE, &options)
+                .unwrap()
         });
     });
 }

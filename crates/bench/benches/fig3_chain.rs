@@ -33,12 +33,8 @@ fn bench_chain_sweep(c: &mut Criterion) {
     let options = paper_options();
     c.bench_function("fig3_full_sweep_1_to_10", |b| {
         b.iter(|| {
-            sweep_buffer_capacity(
-                black_box(&configuration),
-                PAPER_CAPACITY_RANGE,
-                &options,
-            )
-            .unwrap()
+            sweep_buffer_capacity(black_box(&configuration), PAPER_CAPACITY_RANGE, &options)
+                .unwrap()
         });
     });
 }

@@ -35,12 +35,8 @@ fn bench_joint_vs_two_phase(c: &mut Criterion) {
     });
     group.bench_function("two_phase_fair_share", |b| {
         b.iter(|| {
-            compute_mapping_two_phase(
-                black_box(&configuration),
-                BudgetPolicy::FairShare,
-                &options,
-            )
-            .unwrap()
+            compute_mapping_two_phase(black_box(&configuration), BudgetPolicy::FairShare, &options)
+                .unwrap()
         });
     });
     group.finish();

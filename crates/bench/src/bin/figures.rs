@@ -144,7 +144,13 @@ fn runtime() -> Result<(), String> {
     print!(
         "{}",
         format_table(
-            &["workload", "tasks", "buffers", "IPM iterations", "solve time (ms)"],
+            &[
+                "workload",
+                "tasks",
+                "buffers",
+                "IPM iterations",
+                "solve time (ms)"
+            ],
             &rows,
         )
     );
@@ -167,7 +173,12 @@ fn ablation() -> Result<(), String> {
         match outcome {
             Ok((budget, storage, feasible)) => rows.push(vec![
                 label.to_string(),
-                if feasible { "yes" } else { "NO (false negative)" }.to_string(),
+                if feasible {
+                    "yes"
+                } else {
+                    "NO (false negative)"
+                }
+                .to_string(),
                 budget.to_string(),
                 storage.to_string(),
                 format!("{ms:.2}"),
@@ -244,7 +255,13 @@ fn ablation() -> Result<(), String> {
     print!(
         "{}",
         format_table(
-            &["flow", "feasible", "total budget", "total storage", "time (ms)"],
+            &[
+                "flow",
+                "feasible",
+                "total budget",
+                "total storage",
+                "time (ms)"
+            ],
             &rows,
         )
     );

@@ -86,10 +86,7 @@ pub fn runtime_workloads() -> Vec<(String, Configuration)> {
 pub fn mapping_to_simulation_maps(
     mapping: &Mapping,
 ) -> (BTreeMap<TaskRef, u64>, BTreeMap<BufferRef, u64>) {
-    (
-        mapping.budgets().collect(),
-        mapping.capacities().collect(),
-    )
+    (mapping.budgets().collect(), mapping.capacities().collect())
 }
 
 #[cfg(test)]

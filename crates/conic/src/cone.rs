@@ -457,7 +457,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_blocks() {
-        let c: Cone = vec![ConeBlock::NonNeg(1), ConeBlock::Soc(2)].into_iter().collect();
+        let c: Cone = vec![ConeBlock::NonNeg(1), ConeBlock::Soc(2)]
+            .into_iter()
+            .collect();
         assert_eq!(c.blocks().len(), 2);
     }
 

@@ -149,9 +149,12 @@ mod tests {
         m.bound_lower(x, 1e-6);
         m.bound_lower(y, 1e-6);
         m.add_hyperbolic(x, y, 9.0);
-        let outcome =
-            solve_with_cutting_planes(&m, &IpmSettings::default(), &CuttingPlaneSettings::default())
-                .unwrap();
+        let outcome = solve_with_cutting_planes(
+            &m,
+            &IpmSettings::default(),
+            &CuttingPlaneSettings::default(),
+        )
+        .unwrap();
         assert!(outcome.converged);
         assert!((outcome.solution.value(x) - 3.0).abs() < 1e-3);
         assert!((outcome.solution.value(y) - 3.0).abs() < 1e-3);
@@ -170,9 +173,12 @@ mod tests {
         m.bound_lower(y, 1e-6);
         m.bound_upper(y, 2.0);
         m.add_hyperbolic(x, y, 8.0);
-        let outcome =
-            solve_with_cutting_planes(&m, &IpmSettings::default(), &CuttingPlaneSettings::default())
-                .unwrap();
+        let outcome = solve_with_cutting_planes(
+            &m,
+            &IpmSettings::default(),
+            &CuttingPlaneSettings::default(),
+        )
+        .unwrap();
         assert!(outcome.converged);
         assert!((outcome.solution.value(x) - 4.0).abs() < 1e-3);
     }
@@ -182,9 +188,12 @@ mod tests {
         let mut m = ModelBuilder::new();
         let x = m.add_var_with_cost("x", 1.0);
         m.bound_lower(x, 5.0);
-        let outcome =
-            solve_with_cutting_planes(&m, &IpmSettings::default(), &CuttingPlaneSettings::default())
-                .unwrap();
+        let outcome = solve_with_cutting_planes(
+            &m,
+            &IpmSettings::default(),
+            &CuttingPlaneSettings::default(),
+        )
+        .unwrap();
         assert!(outcome.converged);
         assert_eq!(outcome.rounds, 1);
         assert_eq!(outcome.cuts, 0);
@@ -203,8 +212,7 @@ mod tests {
             max_rounds: 1,
             ..CuttingPlaneSettings::default()
         };
-        let outcome =
-            solve_with_cutting_planes(&m, &IpmSettings::default(), &strict).unwrap();
+        let outcome = solve_with_cutting_planes(&m, &IpmSettings::default(), &strict).unwrap();
         assert_eq!(outcome.rounds, 1);
     }
 }

@@ -133,6 +133,9 @@ mod tests {
     fn status_helpers() {
         assert!(SolveStatus::Optimal.is_optimal());
         assert!(!SolveStatus::MaxIterations.is_optimal());
-        assert_eq!(SolveStatus::PrimalInfeasible.to_string(), "primal infeasible");
+        assert_eq!(
+            SolveStatus::PrimalInfeasible.to_string(),
+            "primal infeasible"
+        );
     }
 }

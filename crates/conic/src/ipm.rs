@@ -172,8 +172,8 @@ pub fn solve_cone_problem(
         let mut gtg = g.transpose().matmul(g);
         let reg = settings.regularization.max(1e-12) * (1.0 + gtg.norm_inf());
         gtg.add_diagonal(reg);
-        let chol = Cholesky::factor(&gtg)
-            .map_err(|_| ConicError::KktFactorisation { iteration: 0 })?;
+        let chol =
+            Cholesky::factor(&gtg).map_err(|_| ConicError::KktFactorisation { iteration: 0 })?;
         // Primal: x ≈ argmin ‖Gx − h‖, s = h − Gx shifted into the cone.
         x = chol.solve(&g.matvec_transpose(h));
         let s_cand = h - &g.matvec(&x);
@@ -302,8 +302,7 @@ pub fn solve_cone_problem(
                 for i in 0..m {
                     heavier[(n + i, n + i)] -= bump;
                 }
-                Ldlt::factor(&heavier)
-                    .map_err(|_| ConicError::KktFactorisation { iteration })?
+                Ldlt::factor(&heavier).map_err(|_| ConicError::KktFactorisation { iteration })?
             }
         };
         // Solve the *exact* KKT system using the regularised factorisation as
@@ -414,7 +413,6 @@ fn shift_into_cone(cone: &Cone, candidate: DVector, e: &DVector) -> DVector {
         shifted
     }
 }
-
 
 #[cfg(test)]
 mod tests {

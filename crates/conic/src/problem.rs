@@ -550,6 +550,9 @@ mod tests {
             h: DVector::zeros(3),
             cone: Cone::new(vec![ConeBlock::NonNeg(3)]),
         };
-        assert!(matches!(p.validate(), Err(ConicError::DimensionMismatch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ConicError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -199,9 +199,7 @@ impl NtScaling {
                     out[off] = scale * (w0 * v[off] + sign * d);
                     for i in 1..n {
                         out[off + i] = scale
-                            * (sign * v[off] * wbar[i]
-                                + v[off + i]
-                                + d / (1.0 + w0) * wbar[i]);
+                            * (sign * v[off] * wbar[i] + v[off + i] + d / (1.0 + w0) * wbar[i]);
                     }
                 }
                 _ => unreachable!("cone/scaling block mismatch"),

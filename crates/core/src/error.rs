@@ -172,9 +172,7 @@ mod tests {
         assert!(e.source().is_some());
         let e: MappingError = ConicError::Unbounded.into();
         assert!(matches!(e, MappingError::Solver(_)));
-        let plain = MappingError::Infeasible {
-            detail: "x".into(),
-        };
+        let plain = MappingError::Infeasible { detail: "x".into() };
         assert!(plain.source().is_none());
     }
 }

@@ -69,7 +69,10 @@ pub fn with_capacity_cap(configuration: &Configuration, cap: u64) -> Configurati
     let buffer_refs = constrained.all_buffers();
     for buffer_ref in buffer_refs {
         let graph = constrained.task_graph_mut(buffer_ref.graph);
-        let updated = graph.buffer(buffer_ref.buffer).clone().with_max_capacity(cap);
+        let updated = graph
+            .buffer(buffer_ref.buffer)
+            .clone()
+            .with_max_capacity(cap);
         *graph.buffer_mut(buffer_ref.buffer) = updated;
     }
     constrained
@@ -89,10 +92,7 @@ pub fn budget_reduction_series(points: &[TradeoffPoint]) -> Vec<f64> {
 /// A point is Pareto-optimal when no other point has both a smaller total
 /// budget and a smaller total storage. Returns the Pareto-optimal subset of
 /// the sweep (in input order).
-pub fn pareto_front(
-    configuration: &Configuration,
-    points: &[TradeoffPoint],
-) -> Vec<TradeoffPoint> {
+pub fn pareto_front(configuration: &Configuration, points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
     points
         .iter()
         .filter(|candidate| {
@@ -139,8 +139,7 @@ mod tests {
         assert!(deltas.iter().all(|&d| d >= 0.0));
         let total_drop: f64 = deltas.iter().sum();
         assert!(
-            (total_drop
-                - (points[0].total_budget() as f64 - points[9].total_budget() as f64))
+            (total_drop - (points[0].total_budget() as f64 - points[9].total_budget() as f64))
                 .abs()
                 < 1e-9
         );
@@ -154,7 +153,11 @@ mod tests {
             let wa = p.mapping.budget_of_named(&c, "wa").unwrap();
             let wb = p.mapping.budget_of_named(&c, "wb").unwrap();
             let wc = p.mapping.budget_of_named(&c, "wc").unwrap();
-            assert_eq!(wa, wc, "outer tasks stay symmetric at cap {}", p.capacity_cap);
+            assert_eq!(
+                wa, wc,
+                "outer tasks stay symmetric at cap {}",
+                p.capacity_cap
+            );
             assert!(
                 wb + 1 >= wa,
                 "middle task must not be reduced ahead of the outer ones (cap {})",

@@ -174,7 +174,10 @@ impl Formulation {
                 let buffer = configuration
                     .task_graph(buffer_ref.graph)
                     .buffer(buffer_ref.buffer);
-                expr = expr.plus(buffer.container_size() as f64, variables.buffer_space[buffer_ref]);
+                expr = expr.plus(
+                    buffer.container_size() as f64,
+                    variables.buffer_space[buffer_ref],
+                );
                 // ι(b) filled containers plus the +1 rounding slack.
                 fixed += (buffer.initial_tokens() as f64 + 1.0) * buffer.container_size() as f64;
             }
@@ -222,7 +225,10 @@ fn add_pas_constraints(
             }
             QueueRole::ExecutionSelfLoop(_) | QueueRole::Data(_) | QueueRole::Space(_) => {
                 // Constraint 7: s(vj) ≥ s(vi) + ̺·χ·λ − δ(e)·µ.
-                expr = expr.plus(-replenishment * task.wcet(), variables.reciprocals[&task_ref]);
+                expr = expr.plus(
+                    -replenishment * task.wcet(),
+                    variables.reciprocals[&task_ref],
+                );
                 let rhs = match queue.tokens {
                     TokenCount::Fixed(t) => -(t as f64) * period,
                     TokenCount::BufferSpace(bid) => {
@@ -373,7 +379,12 @@ mod tests {
                 job.task(&format!("w{i}"), 1.0, "p");
             }
             for i in 0..8 {
-                job.buffer(&format!("b{i}"), &format!("w{i}"), &format!("w{}", i + 1), "mem");
+                job.buffer(
+                    &format!("b{i}"),
+                    &format!("w{i}"),
+                    &format!("w{}", i + 1),
+                    "mem",
+                );
             }
         }
         let c = builder.build().unwrap();

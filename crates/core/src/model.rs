@@ -332,8 +332,7 @@ mod tests {
         // Per task: 1 intra queue + 1 self-loop; per buffer: data + space.
         assert_eq!(
             gm.queues.len(),
-            2 * c.task_graph(gm.graph_id).num_tasks()
-                + 2 * c.task_graph(gm.graph_id).num_buffers()
+            2 * c.task_graph(gm.graph_id).num_tasks() + 2 * c.task_graph(gm.graph_id).num_buffers()
         );
         assert_eq!(gm.period, 10.0);
     }

@@ -130,7 +130,11 @@ impl Mapping {
     }
 
     /// Sum of budgets allocated on one processor, in cycles.
-    pub fn budget_on_processor(&self, configuration: &Configuration, processor: ProcessorId) -> u64 {
+    pub fn budget_on_processor(
+        &self,
+        configuration: &Configuration,
+        processor: ProcessorId,
+    ) -> u64 {
         self.budgets
             .iter()
             .filter(|(task, _)| {
@@ -310,5 +314,4 @@ mod tests {
         assert_eq!(m.solver_iterations(), 11);
         assert!((m.objective() - 40.12).abs() < 1e-12);
     }
-
 }

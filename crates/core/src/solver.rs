@@ -7,7 +7,7 @@ use crate::model::DataflowModel;
 use crate::options::{SolveOptions, SolverKind};
 use crate::solution::Mapping;
 use crate::verify::verify_mapping;
-use bbs_conic::{solve_with_cutting_planes, SolveStatus, Solution};
+use bbs_conic::{solve_with_cutting_planes, Solution, SolveStatus};
 use bbs_taskgraph::Configuration;
 use std::collections::BTreeMap;
 
@@ -196,7 +196,10 @@ mod tests {
         let wb = m.budget_of_named(&c, "wb").unwrap();
         let wc = m.budget_of_named(&c, "wc").unwrap();
         assert_eq!(wa, wc, "end tasks are symmetric");
-        assert!(wb >= wa, "middle task budget {wb} must be at least end budget {wa}");
+        assert!(
+            wb >= wa,
+            "middle task budget {wb} must be at least end budget {wa}"
+        );
     }
 
     #[test]
@@ -263,7 +266,12 @@ mod tests {
             let job = builder.task_graph(name, 10.0);
             job.task(&format!("{name}a"), 1.0, "p1");
             job.task(&format!("{name}b"), 1.0, "p2");
-            job.buffer(&format!("{name}buf"), &format!("{name}a"), &format!("{name}b"), "mem");
+            job.buffer(
+                &format!("{name}buf"),
+                &format!("{name}a"),
+                &format!("{name}b"),
+                "mem",
+            );
         }
         let c = builder.build().unwrap();
         let m = compute_mapping(&c, &budget_first()).unwrap();
@@ -290,7 +298,10 @@ mod tests {
         let c = builder.build().unwrap();
         let m = compute_mapping(&c, &budget_first()).unwrap();
         let bab = find_buffer(&c, "bab").unwrap();
-        assert!(m.capacity(bab) <= 5, "memory slack of 1 unit is reserved for rounding");
+        assert!(
+            m.capacity(bab) <= 5,
+            "memory slack of 1 unit is reserved for rounding"
+        );
         assert!(m.budget_of_named(&c, "wa").unwrap() > 4);
         // The unconstrained problem would have chosen 10 containers.
         let unconstrained = producer_consumer(PaperParameters::default(), None);
@@ -305,11 +316,8 @@ mod tests {
     fn storage_first_weighting_buys_smaller_buffers() {
         let c = producer_consumer(PaperParameters::default(), None);
         let budget_first_mapping = compute_mapping(&c, &budget_first()).unwrap();
-        let storage_first_mapping = compute_mapping(
-            &c,
-            &SolveOptions::default().prefer_storage_minimisation(),
-        )
-        .unwrap();
+        let storage_first_mapping =
+            compute_mapping(&c, &SolveOptions::default().prefer_storage_minimisation()).unwrap();
         assert!(
             storage_first_mapping.capacity_of_named(&c, "bab").unwrap()
                 < budget_first_mapping.capacity_of_named(&c, "bab").unwrap()

@@ -76,9 +76,7 @@ pub fn compute_mapping_two_phase(
             .buffer(buffer_ref.buffer);
         let delta = builder.add_var_with_cost(
             format!("delta[{buffer_ref}]"),
-            options.storage_weight_scale
-                * buffer.storage_weight()
-                * buffer.container_size() as f64,
+            options.storage_weight_scale * buffer.storage_weight() * buffer.container_size() as f64,
         );
         builder.bound_lower(delta, 0.0);
         if let Some(cap) = buffer.max_capacity() {
@@ -211,8 +209,7 @@ fn fixed_budgets(
         if tasks.is_empty() {
             continue;
         }
-        let share = (processor.allocatable_capacity()
-            - granularity * tasks.len() as f64)
+        let share = (processor.allocatable_capacity() - granularity * tasks.len() as f64)
             / tasks.len() as f64;
         for task_ref in tasks {
             let graph = configuration.task_graph(task_ref.graph);
@@ -295,8 +292,7 @@ mod tests {
         let c = producer_consumer(PaperParameters::default(), Some(3));
         let joint = compute_mapping(&c, &options()).unwrap();
         assert!(joint.budget_of_named(&c, "wa").unwrap() > 4);
-        let baseline =
-            compute_mapping_two_phase(&c, BudgetPolicy::ThroughputMinimum, &options());
+        let baseline = compute_mapping_two_phase(&c, BudgetPolicy::ThroughputMinimum, &options());
         assert!(
             matches!(baseline, Err(MappingError::Infeasible { .. })),
             "expected the two-phase baseline to fail, got {baseline:?}"
@@ -340,8 +336,7 @@ mod tests {
         }
         // The minimum-budget baseline under-provisions budgets (4 each) and
         // then cannot satisfy the throughput with only 7 containers.
-        let baseline =
-            compute_mapping_two_phase(&c, BudgetPolicy::ThroughputMinimum, &options());
+        let baseline = compute_mapping_two_phase(&c, BudgetPolicy::ThroughputMinimum, &options());
         assert!(matches!(baseline, Err(MappingError::Infeasible { .. })));
     }
 

@@ -6,11 +6,11 @@
 //! verifies against the independent dataflow analysis, and is never worse
 //! (in optimised cost) than the two-phase baseline when both succeed.
 
+use bbs_taskgraph::presets::{random_dag, RandomWorkload};
+use bbs_taskgraph::Configuration;
 use budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
 use budget_buffer::verify::verify_mapping;
 use budget_buffer::{compute_mapping, MappingError, SolveOptions};
-use bbs_taskgraph::presets::{random_dag, RandomWorkload};
-use bbs_taskgraph::Configuration;
 use proptest::prelude::*;
 
 fn options() -> SolveOptions {
@@ -21,11 +21,11 @@ fn options() -> SolveOptions {
 /// counts and (sometimes) capacity caps on every buffer.
 fn workload_strategy() -> impl Strategy<Value = (Configuration, Option<u64>)> {
     (
-        2usize..7,        // tasks
-        1usize..4,        // processors
-        0u64..3,          // cap selector: 0 = uncapped, otherwise cap = 4 + value
-        0.0f64..0.5,      // extra edge probability
-        0u64..1000,       // seed
+        2usize..7,   // tasks
+        1usize..4,   // processors
+        0u64..3,     // cap selector: 0 = uncapped, otherwise cap = 4 + value
+        0.0f64..0.5, // extra edge probability
+        0u64..1000,  // seed
     )
         .prop_map(|(tasks, processors, cap_sel, extra, seed)| {
             let configuration = random_dag(&RandomWorkload {
@@ -35,7 +35,11 @@ fn workload_strategy() -> impl Strategy<Value = (Configuration, Option<u64>)> {
                 seed,
                 ..RandomWorkload::default()
             });
-            let cap = if cap_sel == 0 { None } else { Some(4 + cap_sel) };
+            let cap = if cap_sel == 0 {
+                None
+            } else {
+                Some(4 + cap_sel)
+            };
             let configuration = match cap {
                 Some(c) => budget_buffer::explore::with_capacity_cap(&configuration, c),
                 None => configuration,

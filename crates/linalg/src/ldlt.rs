@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn rejects_non_square() {
-        assert_eq!(Ldlt::factor(&DMatrix::zeros(2, 3)), Err(LdltError::NotSquare));
+        assert_eq!(
+            Ldlt::factor(&DMatrix::zeros(2, 3)),
+            Err(LdltError::NotSquare)
+        );
     }
 
     #[test]
@@ -219,7 +222,9 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         assert!(!LdltError::NotSquare.to_string().is_empty());
-        assert!(LdltError::SingularPivot { column: 1 }.to_string().contains('1'));
+        assert!(LdltError::SingularPivot { column: 1 }
+            .to_string()
+            .contains('1'));
     }
 
     proptest! {

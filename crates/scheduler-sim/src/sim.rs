@@ -190,11 +190,11 @@ pub fn simulate_mapping(
         }
         let mut slot_budgets = Vec::with_capacity(on_processor.len());
         for (slot, task_ref) in on_processor.iter().enumerate() {
-            let budget = *budgets.get(task_ref).ok_or_else(|| {
-                SimulationError::MissingMapping {
+            let budget = *budgets
+                .get(task_ref)
+                .ok_or_else(|| SimulationError::MissingMapping {
                     detail: format!("budget for task {task_ref}"),
-                }
-            })?;
+                })?;
             slot_budgets.push(budget as f64);
             slot_of_task[task_index[task_ref]] = slot;
         }
@@ -214,11 +214,12 @@ pub fn simulate_mapping(
         let buffer = configuration
             .task_graph(buffer_ref.graph)
             .buffer(buffer_ref.buffer);
-        let capacity = *capacities.get(buffer_ref).ok_or_else(|| {
-            SimulationError::MissingMapping {
-                detail: format!("capacity for buffer {buffer_ref}"),
-            }
-        })?;
+        let capacity =
+            *capacities
+                .get(buffer_ref)
+                .ok_or_else(|| SimulationError::MissingMapping {
+                    detail: format!("capacity for buffer {buffer_ref}"),
+                })?;
         if capacity < buffer.initial_tokens() {
             return Err(SimulationError::MissingMapping {
                 detail: format!(

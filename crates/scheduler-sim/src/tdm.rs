@@ -54,7 +54,10 @@ impl TdmWheel {
         let mut offset = 0.0;
         let mut slots = Vec::with_capacity(budgets.len());
         for &budget in budgets {
-            assert!(budget > 0.0 && budget.is_finite(), "budgets must be positive");
+            assert!(
+                budget > 0.0 && budget.is_finite(),
+                "budgets must be positive"
+            );
             slots.push(TdmSlot { offset, budget });
             offset += budget;
         }

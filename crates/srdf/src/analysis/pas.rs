@@ -112,8 +112,7 @@ pub fn verify_schedule(graph: &SrdfGraph, period: f64, start_times: &[f64], tol:
     }
     graph.queues().all(|(_, q)| {
         let lhs = start_times[q.target().index()];
-        let rhs = start_times[q.source().index()]
-            + graph.actor(q.source()).firing_duration()
+        let rhs = start_times[q.source().index()] + graph.actor(q.source()).firing_duration()
             - q.tokens() as f64 * period;
         lhs + tol >= rhs
     })
@@ -185,7 +184,7 @@ mod tests {
         match periodic_schedule(&g, 6.0) {
             PasResult::Feasible(s) => {
                 assert!(verify_schedule(&g, 6.0, &s, 1e-9));
-                assert!(s.iter().any(|&v| v == 0.0), "normalised to zero minimum");
+                assert!(s.contains(&0.0), "normalised to zero minimum");
             }
             PasResult::Infeasible => panic!("period 6 ≥ MCR 5 must be feasible"),
         }

@@ -193,10 +193,7 @@ mod tests {
         let b = g.add_actor(Actor::new("b", 1.0));
         g.add_queue(Queue::new(a, b, 0));
         g.add_queue(Queue::new(b, a, 0));
-        assert_eq!(
-            simulate_self_timed(&g, 10),
-            Err(SimulationError::Deadlock)
-        );
+        assert_eq!(simulate_self_timed(&g, 10), Err(SimulationError::Deadlock));
         assert!(!SimulationError::Deadlock.to_string().is_empty());
     }
 

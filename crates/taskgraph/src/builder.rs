@@ -73,9 +73,11 @@ impl ConfigurationBuilder {
             !self.processor_names.contains_key(name),
             "duplicate processor name '{name}'"
         );
-        let id = self
-            .configuration
-            .add_processor(Processor::with_overhead(name, replenishment_interval, overhead));
+        let id = self.configuration.add_processor(Processor::with_overhead(
+            name,
+            replenishment_interval,
+            overhead,
+        ));
         self.processor_names.insert(name.to_string(), id);
         id
     }
@@ -134,8 +136,7 @@ impl ConfigurationBuilder {
     /// (programming error in the calling code).
     pub fn build(mut self) -> Result<Configuration, ModelError> {
         for graph_builder in self.graphs.drain(..) {
-            let graph =
-                graph_builder.into_task_graph(&self.processor_names, &self.memory_names);
+            let graph = graph_builder.into_task_graph(&self.processor_names, &self.memory_names);
             self.configuration.add_task_graph(graph);
         }
         self.configuration.validate()?;
@@ -204,7 +205,13 @@ impl TaskGraphBuilder {
     }
 
     /// Adds a unit-container buffer with no initial tokens.
-    pub fn buffer(&mut self, name: &str, producer: &str, consumer: &str, memory: &str) -> &mut Self {
+    pub fn buffer(
+        &mut self,
+        name: &str,
+        producer: &str,
+        consumer: &str,
+        memory: &str,
+    ) -> &mut Self {
         self.buffer_detailed(name, producer, consumer, memory, 1, 0, 1.0, None)
     }
 

@@ -361,7 +361,10 @@ mod tests {
         let b = g.add_task(Task::new("b", 1.0, p));
         g.add_buffer(Buffer::new("bab", a, b, MemoryId::new(0)));
         c.add_task_graph(g);
-        assert!(matches!(c.validate(), Err(ModelError::UnknownMemory { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ModelError::UnknownMemory { .. })
+        ));
     }
 
     #[test]

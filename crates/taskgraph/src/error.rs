@@ -66,7 +66,10 @@ impl fmt::Display for ModelError {
                 write!(f, "task graph '{graph}' contains no tasks")
             }
             ModelError::DanglingBuffer { graph, buffer } => {
-                write!(f, "buffer {buffer} of task graph '{graph}' references a task outside the graph")
+                write!(
+                    f,
+                    "buffer {buffer} of task graph '{graph}' references a task outside the graph"
+                )
             }
             ModelError::UnknownProcessor {
                 graph,
@@ -112,9 +115,7 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         let cases: Vec<ModelError> = vec![
-            ModelError::EmptyTaskGraph {
-                graph: "T1".into(),
-            },
+            ModelError::EmptyTaskGraph { graph: "T1".into() },
             ModelError::DanglingBuffer {
                 graph: "T1".into(),
                 buffer: BufferId::new(0),

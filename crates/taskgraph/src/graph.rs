@@ -320,8 +320,7 @@ mod tests {
     #[test]
     fn buffer_mut_allows_cap_updates() {
         let mut g = two_task_graph();
-        *g.buffer_mut(BufferId::new(0)) =
-            g.buffer(BufferId::new(0)).clone().with_max_capacity(5);
+        *g.buffer_mut(BufferId::new(0)) = g.buffer(BufferId::new(0)).clone().with_max_capacity(5);
         assert_eq!(g.buffer(BufferId::new(0)).max_capacity(), Some(5));
     }
 

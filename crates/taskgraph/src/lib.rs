@@ -40,7 +40,9 @@ mod task;
 pub mod presets;
 
 pub use buffer::Buffer;
-pub use builder::{find_buffer, find_task, find_task_graph, ConfigurationBuilder, TaskGraphBuilder};
+pub use builder::{
+    find_buffer, find_task, find_task_graph, ConfigurationBuilder, TaskGraphBuilder,
+};
 pub use configuration::Configuration;
 pub use error::ModelError;
 pub use graph::TaskGraph;

@@ -202,7 +202,11 @@ pub fn random_dag(params: &RandomWorkload) -> Configuration {
             let wcet = rng.gen_range(params.wcet_range.0..=params.wcet_range.1);
             // Keep every task individually attainable: χ(w) ≤ µ(T).
             let wcet = wcet.min(params.period * 0.9);
-            job.task(&task_name(t), wcet, &format!("p{}", t % params.num_processors));
+            job.task(
+                &task_name(t),
+                wcet,
+                &format!("p{}", t % params.num_processors),
+            );
         }
         // Chain backbone.
         for t in 0..params.num_tasks - 1 {
@@ -254,10 +258,7 @@ mod tests {
         let wa = find_task(&c, "wa").unwrap();
         let task = c.task_graph(wa.graph).task(wa.task);
         assert_eq!(task.wcet(), 1.0);
-        assert_eq!(
-            c.processor(task.processor()).replenishment_interval(),
-            40.0
-        );
+        assert_eq!(c.processor(task.processor()).replenishment_interval(), 40.0);
         assert_eq!(c.task_graph(wa.graph).period(), 10.0);
         // Tasks are on different processors.
         let wb = find_task(&c, "wb").unwrap();
@@ -271,7 +272,10 @@ mod tests {
     fn producer_consumer_capacity_cap_is_applied() {
         let c = producer_consumer(PaperParameters::default(), Some(3));
         let b = find_buffer(&c, "bab").unwrap();
-        assert_eq!(c.task_graph(b.graph).buffer(b.buffer).max_capacity(), Some(3));
+        assert_eq!(
+            c.task_graph(b.graph).buffer(b.buffer).max_capacity(),
+            Some(3)
+        );
     }
 
     #[test]
@@ -281,7 +285,10 @@ mod tests {
         assert_eq!(c.num_buffers(), 2);
         assert_eq!(c.num_processors(), 3);
         for r in c.all_buffers() {
-            assert_eq!(c.task_graph(r.graph).buffer(r.buffer).max_capacity(), Some(5));
+            assert_eq!(
+                c.task_graph(r.graph).buffer(r.buffer).max_capacity(),
+                Some(5)
+            );
         }
     }
 

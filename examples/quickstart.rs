@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "consumer budget: {} Mcycles per 40 Mcycle interval",
         report.budgets["consumer"]
     );
-    println!("buffer capacity: {} containers", report.capacities["stream"]);
+    println!(
+        "buffer capacity: {} containers",
+        report.capacities["stream"]
+    );
     println!(
         "solved in {} interior-point iterations",
         mapping.solver_iterations()

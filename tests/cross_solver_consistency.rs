@@ -5,9 +5,7 @@
 use budget_buffer_suite::budget_buffer::explore::with_capacity_cap;
 use budget_buffer_suite::budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
 use budget_buffer_suite::budget_buffer::{compute_mapping, MappingError, SolveOptions};
-use budget_buffer_suite::taskgraph::presets::{
-    chain3, producer_consumer, ring, PaperParameters,
-};
+use budget_buffer_suite::taskgraph::presets::{chain3, producer_consumer, ring, PaperParameters};
 use budget_buffer_suite::taskgraph::Configuration;
 
 fn ipm() -> SolveOptions {
@@ -25,8 +23,10 @@ fn cutting_plane() -> SolveOptions {
 #[test]
 fn interior_point_and_cutting_plane_agree() {
     for capacity in [1u64, 3, 5, 8, 10] {
-        let configuration =
-            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), capacity);
+        let configuration = with_capacity_cap(
+            &producer_consumer(PaperParameters::default(), None),
+            capacity,
+        );
         let a = compute_mapping(&configuration, &ipm()).unwrap();
         let b = compute_mapping(&configuration, &cutting_plane()).unwrap();
         assert_eq!(
@@ -52,8 +52,7 @@ fn joint_dominates_two_phase_baseline() {
     let joint = compute_mapping(&configuration, &ipm()).unwrap();
     let min_budget =
         compute_mapping_two_phase(&configuration, BudgetPolicy::ThroughputMinimum, &ipm()).unwrap();
-    let fair =
-        compute_mapping_two_phase(&configuration, BudgetPolicy::FairShare, &ipm()).unwrap();
+    let fair = compute_mapping_two_phase(&configuration, BudgetPolicy::FairShare, &ipm()).unwrap();
     assert!(joint.total_budget() <= min_budget.mapping.total_budget());
     assert!(joint.total_budget() <= fair.mapping.total_budget());
 
@@ -80,17 +79,19 @@ fn rings_are_supported() {
 /// by both solver back ends.
 #[test]
 fn infeasibility_reported_by_both_solvers() {
-    let configuration =
-        with_capacity_cap(&chain3(PaperParameters::default(), None), 1);
+    let configuration = with_capacity_cap(&chain3(PaperParameters::default(), None), 1);
     // Capacity 1 forces per-task budgets around 34–39 cycles; three tasks of
     // the chain live on distinct processors so this *is* feasible — make it
     // infeasible by adding a competing job instead.
     let mut competing = configuration.clone();
-    let graph = competing.task_graph(budget_buffer_suite::taskgraph::TaskGraphId::new(0)).clone();
+    let graph = competing
+        .task_graph(budget_buffer_suite::taskgraph::TaskGraphId::new(0))
+        .clone();
     competing.add_task_graph(graph);
     for options in [ipm(), cutting_plane()] {
         match compute_mapping(&competing, &options) {
-            Err(MappingError::Infeasible { .. }) | Err(MappingError::ProcessorOverloaded { .. }) => {}
+            Err(MappingError::Infeasible { .. })
+            | Err(MappingError::ProcessorOverloaded { .. }) => {}
             other => panic!("expected infeasibility, got {other:?}"),
         }
     }

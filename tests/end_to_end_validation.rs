@@ -22,7 +22,10 @@ fn options() -> SolveOptions {
     SolveOptions::default().prefer_budget_minimisation()
 }
 
-fn simulate(configuration: &Configuration, mapping: &budget_buffer_suite::budget_buffer::Mapping) -> f64 {
+fn simulate(
+    configuration: &Configuration,
+    mapping: &budget_buffer_suite::budget_buffer::Mapping,
+) -> f64 {
     let budgets: BTreeMap<_, _> = mapping.budgets().collect();
     let capacities: BTreeMap<_, _> = mapping.capacities().collect();
     let settings = SimulationSettings {
@@ -41,8 +44,10 @@ fn simulate(configuration: &Configuration, mapping: &budget_buffer_suite::budget
 fn producer_consumer_mappings_hold_under_execution() {
     let window_error = 40.0 / 127.0;
     for capacity in 1..=10u64 {
-        let configuration =
-            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), capacity);
+        let configuration = with_capacity_cap(
+            &producer_consumer(PaperParameters::default(), None),
+            capacity,
+        );
         let mapping = compute_mapping(&configuration, &options()).unwrap();
         verify_mapping(&configuration, &mapping).unwrap();
         let measured = simulate(&configuration, &mapping);
@@ -58,8 +63,7 @@ fn producer_consumer_mappings_hold_under_execution() {
 fn chains_meet_their_period_under_execution() {
     let window_error = 40.0 / 127.0;
     for n in 4..=6usize {
-        let configuration =
-            with_capacity_cap(&chain(n, PaperParameters::default(), None), 6);
+        let configuration = with_capacity_cap(&chain(n, PaperParameters::default(), None), 6);
         let mapping = compute_mapping(&configuration, &options()).unwrap();
         let measured = simulate(&configuration, &mapping);
         assert!(

@@ -3,9 +3,7 @@
 //! These tests assert the *shape* of every result reported in Section V of
 //! the paper (absolute numbers are recorded in `EXPERIMENTS.md`).
 
-use budget_buffer_suite::budget_buffer::explore::{
-    budget_reduction_series, sweep_buffer_capacity,
-};
+use budget_buffer_suite::budget_buffer::explore::{budget_reduction_series, sweep_buffer_capacity};
 use budget_buffer_suite::budget_buffer::{compute_mapping, SolveOptions};
 use budget_buffer_suite::taskgraph::presets::{chain3, producer_consumer, PaperParameters};
 
@@ -35,7 +33,10 @@ fn figure_2a_budget_buffer_tradeoff() {
         .map(|p| p.mapping.budget_of_named(&configuration, "wa").unwrap())
         .collect();
     for w in budgets.windows(2) {
-        assert!(w[1] <= w[0], "budgets must not increase with more buffer space");
+        assert!(
+            w[1] <= w[0],
+            "budgets must not increase with more buffer space"
+        );
     }
 
     // End points: ≈36.1 → 37 rounded at one container; the floor of 4 at ten
@@ -79,7 +80,11 @@ fn figure_3_topology_dependence() {
         let wa = point.mapping.budget_of_named(&configuration, "wa").unwrap();
         let wb = point.mapping.budget_of_named(&configuration, "wb").unwrap();
         let wc = point.mapping.budget_of_named(&configuration, "wc").unwrap();
-        assert_eq!(wa, wc, "outer tasks are symmetric (capacity {})", point.capacity_cap);
+        assert_eq!(
+            wa, wc,
+            "outer tasks are symmetric (capacity {})",
+            point.capacity_cap
+        );
         assert!(
             wb + 1 >= wa,
             "the middle task must not be starved before the outer ones"

@@ -1,0 +1,45 @@
+//! Workspace smoke test: the umbrella crate's re-exports resolve, and the
+//! paper's preset configurations build and validate.
+
+use budget_buffer_suite::taskgraph::presets::{chain3, producer_consumer, PaperParameters};
+
+/// Every member crate is reachable through its umbrella re-export.
+#[test]
+fn umbrella_reexports_resolve() {
+    // Touch one symbol per re-exported crate so a missing or misnamed
+    // re-export fails this test at compile time.
+    let _ = budget_buffer_suite::conic::IpmSettings::default();
+    let _ = budget_buffer_suite::linalg::DVector::zeros(3);
+    let _ = budget_buffer_suite::scheduler_sim::SimulationSettings::default();
+    let _ = budget_buffer_suite::srdf::SrdfGraph::new();
+    let _ = budget_buffer_suite::taskgraph::ConfigurationBuilder::new();
+    let _ = budget_buffer_suite::budget_buffer::SolveOptions::default();
+}
+
+#[test]
+fn producer_consumer_preset_builds_a_valid_configuration() {
+    let configuration = producer_consumer(PaperParameters::default(), Some(4));
+    assert_eq!(configuration.num_tasks(), 2);
+    assert_eq!(configuration.num_buffers(), 1);
+    assert_eq!(configuration.num_processors(), 2);
+    configuration.validate().expect("preset must validate");
+}
+
+#[test]
+fn chain3_preset_builds_a_valid_configuration() {
+    let configuration = chain3(PaperParameters::default(), None);
+    assert_eq!(configuration.num_tasks(), 3);
+    assert_eq!(configuration.num_buffers(), 2);
+    configuration.validate().expect("preset must validate");
+}
+
+/// The presets solve end-to-end through the umbrella namespace.
+#[test]
+fn presets_solve_through_umbrella_namespace() {
+    use budget_buffer_suite::budget_buffer::{compute_mapping, SolveOptions};
+
+    let configuration = producer_consumer(PaperParameters::default(), Some(4));
+    let mapping = compute_mapping(&configuration, &SolveOptions::default())
+        .expect("paper's producer/consumer workload is feasible");
+    assert!(mapping.total_budget() > 0);
+}

@@ -1,0 +1,241 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the environment has no
+//! `syn`/`quote`). Supports exactly what the workspace uses: non-generic
+//! structs with named fields, tuple structs (newtypes serialize
+//! transparently, like real serde), and unit structs. Enums and generics are
+//! rejected with a compile-time panic so misuse is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the struct a derive was placed on.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of fields.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+}
+
+/// Derives the shim's `serde::Serialize` for a struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize(value)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok(Self({entries})),\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\n\
+                 \"expected {n}-element array, found {{other:?}}\"))),\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Panics when a skipped attribute is a `#[serde(..)]` attribute: the shim
+/// would otherwise ignore renames/defaults/etc. and silently diverge from
+/// real serde behavior.
+fn reject_serde_attribute(attribute_group: Option<TokenTree>) {
+    if let Some(TokenTree::Group(group)) = attribute_group {
+        if let Some(TokenTree::Ident(path)) = group.stream().into_iter().next() {
+            if path.to_string() == "serde" {
+                panic!("the vendored serde_derive shim does not support #[serde(..)] attributes");
+            }
+        }
+    }
+}
+
+/// Parses `struct Name { .. }` / `struct Name(..);` / `struct Name;` out of
+/// the derive input, skipping attributes and visibility modifiers.
+fn parse_struct(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[..]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                reject_serde_attribute(tokens.next()); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            panic!("the vendored serde_derive shim does not support enums")
+        }
+        other => panic!("expected `struct`, found {other:?}"),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive shim does not support generic structs");
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, Shape::Named(named_fields(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, Shape::Tuple(tuple_arity(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+        other => panic!("expected struct body, found {other:?}"),
+    }
+}
+
+/// Extracts field names from the token stream inside `{ .. }`.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments) and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    reject_serde_attribute(tokens.next());
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct from the token stream inside `( .. )`.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
