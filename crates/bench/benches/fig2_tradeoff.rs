@@ -3,12 +3,15 @@
 //!
 //! The bench measures the time of one joint budget/buffer solve per buffer
 //! capacity (the paper reports "milliseconds" with CPLEX) and of the full
-//! ten-point sweep. The data series themselves are printed by
+//! ten-point sweep driven through the batch engine — once per-run (cold
+//! cache) and once against a shared warm cache, to keep the memoization
+//! speed-up honest. The data series themselves are printed by
 //! `cargo run -p bbs-bench --bin figures -- fig2a` / `fig2b`.
 
-use bbs_bench::{fig2_configuration, paper_options, PAPER_CAPACITY_RANGE};
-use budget_buffer::compute_mapping;
-use budget_buffer::explore::{sweep_buffer_capacity, with_capacity_cap};
+use bbs_bench::{fig2_configuration, paper_options};
+use bbs_engine::suites::fig2a_scenario;
+use bbs_engine::{run_suite_with_cache, RunSettings, SolveCache, Suite};
+use budget_buffer::{compute_mapping, with_capacity_cap};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -30,14 +33,17 @@ fn bench_single_solves(c: &mut Criterion) {
 }
 
 fn bench_full_sweep(c: &mut Criterion) {
-    let configuration = fig2_configuration();
-    let options = paper_options();
-    c.bench_function("fig2a_full_sweep_1_to_10", |b| {
-        b.iter(|| {
-            sweep_buffer_capacity(black_box(&configuration), PAPER_CAPACITY_RANGE, &options)
-                .unwrap()
-        });
+    let suite = Suite::new("bench", vec![fig2a_scenario()]);
+    let settings = RunSettings::default();
+    let mut group = c.benchmark_group("fig2a_full_sweep_1_to_10");
+    group.bench_function("engine_cold_cache", |b| {
+        b.iter(|| run_suite_with_cache(black_box(&suite), &settings, &SolveCache::new()).unwrap());
     });
+    group.bench_function("engine_warm_cache", |b| {
+        let cache = SolveCache::new();
+        b.iter(|| run_suite_with_cache(black_box(&suite), &settings, &cache).unwrap());
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_single_solves, bench_full_sweep);

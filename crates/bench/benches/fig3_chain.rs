@@ -2,12 +2,14 @@
 //! budget/buffer trade-off on the three-task chain.
 //!
 //! Measures the per-capacity joint solve and the whole sweep for the chain
-//! `wa → wb → wc`; the series (per-task budgets versus the common buffer
-//! capacity bound) is printed by `figures -- fig3`.
+//! `wa → wb → wc`, the latter through the batch engine; the series (per-task
+//! budgets versus the common buffer capacity bound) is printed by
+//! `figures -- fig3`.
 
-use bbs_bench::{fig3_configuration, paper_options, PAPER_CAPACITY_RANGE};
-use budget_buffer::compute_mapping;
-use budget_buffer::explore::{sweep_buffer_capacity, with_capacity_cap};
+use bbs_bench::{fig3_configuration, paper_options};
+use bbs_engine::suites::fig3_scenario;
+use bbs_engine::{run_suite_with_cache, RunSettings, SolveCache, Suite};
+use budget_buffer::{compute_mapping, with_capacity_cap};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -29,13 +31,10 @@ fn bench_chain_solves(c: &mut Criterion) {
 }
 
 fn bench_chain_sweep(c: &mut Criterion) {
-    let configuration = fig3_configuration();
-    let options = paper_options();
+    let suite = Suite::new("bench", vec![fig3_scenario()]);
+    let settings = RunSettings::default();
     c.bench_function("fig3_full_sweep_1_to_10", |b| {
-        b.iter(|| {
-            sweep_buffer_capacity(black_box(&configuration), PAPER_CAPACITY_RANGE, &options)
-                .unwrap()
-        });
+        b.iter(|| run_suite_with_cache(black_box(&suite), &settings, &SolveCache::new()).unwrap());
     });
 }
 

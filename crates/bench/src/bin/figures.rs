@@ -10,18 +10,32 @@
 //! ```
 //!
 //! Available experiments: `fig2a`, `fig2b`, `fig3`, `runtime`, `ablation`,
-//! `validate`. The measured numbers are recorded in `EXPERIMENTS.md`.
+//! `validate`. Each one is a built-in scenario of `bbs_engine::suites`; this
+//! binary just selects scenarios and runs them through the batch engine —
+//! `bbs run --suite paper` produces the same numbers, and the measured
+//! results are recorded in `EXPERIMENTS.md`.
 
-use bbs_bench::{
-    fig2_sweep, fig3_sweep, mapping_to_simulation_maps, paper_options, runtime_workloads,
+use bbs_engine::report::render_timing_summary;
+use bbs_engine::suites::{
+    ablation_scenarios, fig2a_scenario, fig2b_scenario, fig3_scenario, runtime_scenarios,
+    validate_scenario,
 };
-use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
-use budget_buffer::explore::with_capacity_cap;
-use budget_buffer::report::{derivative_table, format_table, sweep_to_csv, tradeoff_table};
-use budget_buffer::two_phase::{compute_mapping_two_phase, BudgetPolicy};
-use budget_buffer::{compute_mapping, SolveOptions};
+use bbs_engine::{run_suite, RunSettings, Scenario, Suite, SuiteReport};
 use std::process::ExitCode;
-use std::time::Instant;
+
+const EXPERIMENTS: [&str; 6] = ["fig2a", "fig2b", "fig3", "runtime", "ablation", "validate"];
+
+fn scenarios_for(experiment: &str) -> Option<Vec<Scenario>> {
+    match experiment {
+        "fig2a" => Some(vec![fig2a_scenario()]),
+        "fig2b" => Some(vec![fig2b_scenario()]),
+        "fig3" => Some(vec![fig3_scenario()]),
+        "runtime" => Some(runtime_scenarios()),
+        "ablation" => Some(ablation_scenarios()),
+        "validate" => Some(vec![validate_scenario()]),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,287 +45,58 @@ fn main() -> ExitCode {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let all = ["fig2a", "fig2b", "fig3", "runtime", "ablation", "validate"];
     let run: Vec<&str> = if selected.is_empty() {
-        all.to_vec()
+        EXPERIMENTS.to_vec()
     } else {
-        selected
+        // Dedupe while keeping first-mention order: the scenarios become one
+        // suite, and a suite rejects duplicate scenario names.
+        let mut seen = Vec::new();
+        for experiment in selected {
+            if !seen.contains(&experiment) {
+                seen.push(experiment);
+            }
+        }
+        seen
     };
+
+    let mut scenarios = Vec::new();
     for experiment in &run {
-        let result = match *experiment {
-            "fig2a" => fig2a(csv),
-            "fig2b" => fig2b(),
-            "fig3" => fig3(csv),
-            "runtime" => runtime(),
-            "ablation" => ablation(),
-            "validate" => validate(),
-            other => {
-                eprintln!("unknown experiment '{other}'; known: {}", all.join(", "));
+        match scenarios_for(experiment) {
+            Some(batch) => scenarios.extend(batch),
+            None => {
+                eprintln!(
+                    "unknown experiment '{experiment}'; known: {}",
+                    EXPERIMENTS.join(", ")
+                );
                 return ExitCode::FAILURE;
             }
-        };
-        if let Err(message) = result {
-            eprintln!("experiment {experiment} failed: {message}");
+        }
+    }
+
+    let suite = Suite::new("figures", scenarios);
+    let outcome = match run_suite(&suite, &RunSettings::default()) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("figures failed: {error}");
             return ExitCode::FAILURE;
         }
-    }
-    ExitCode::SUCCESS
-}
-
-fn fig2a(csv: bool) -> Result<(), String> {
-    println!("== Figure 2(a): budget vs. buffer capacity (producer/consumer) ==");
-    let (configuration, points) = fig2_sweep().map_err(|e| e.to_string())?;
-    if csv {
-        print!("{}", sweep_to_csv(&configuration, &points));
-    } else {
-        print!("{}", tradeoff_table(&configuration, &points));
-    }
-    println!();
-    Ok(())
-}
-
-fn fig2b() -> Result<(), String> {
-    println!("== Figure 2(b): budget reduction per extra container ==");
-    let (_, points) = fig2_sweep().map_err(|e| e.to_string())?;
-    print!("{}", derivative_table(&points));
-    println!();
-    Ok(())
-}
-
-fn fig3(csv: bool) -> Result<(), String> {
-    println!("== Figure 3: per-task budgets vs. common buffer capacity (chain wa->wb->wc) ==");
-    let (configuration, points) = fig3_sweep().map_err(|e| e.to_string())?;
-    if csv {
-        print!("{}", sweep_to_csv(&configuration, &points));
-    } else {
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|p| {
-                vec![
-                    p.capacity_cap.to_string(),
-                    p.mapping
-                        .budget_of_named(&configuration, "wa")
-                        .unwrap_or(0)
-                        .to_string(),
-                    p.mapping
-                        .budget_of_named(&configuration, "wb")
-                        .unwrap_or(0)
-                        .to_string(),
-                    p.mapping
-                        .budget_of_named(&configuration, "wc")
-                        .unwrap_or(0)
-                        .to_string(),
-                    p.total_budget().to_string(),
-                    format!("{:.2}", p.solve_time.as_secs_f64() * 1e3),
-                ]
-            })
-            .collect();
-        print!(
-            "{}",
-            format_table(
-                &[
-                    "capacity (containers)",
-                    "budget wa",
-                    "budget wb",
-                    "budget wc",
-                    "total",
-                    "solve time (ms)",
-                ],
-                &rows,
-            )
-        );
-    }
-    println!();
-    Ok(())
-}
-
-fn runtime() -> Result<(), String> {
-    println!("== Run-time scaling: joint solve time vs. problem size ==");
-    let options = paper_options();
-    let mut rows = Vec::new();
-    for (name, configuration) in runtime_workloads() {
-        let start = Instant::now();
-        let mapping = compute_mapping(&configuration, &options).map_err(|e| e.to_string())?;
-        let elapsed = start.elapsed();
-        rows.push(vec![
-            name,
-            configuration.num_tasks().to_string(),
-            configuration.num_buffers().to_string(),
-            mapping.solver_iterations().to_string(),
-            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
-        ]);
-    }
-    print!(
-        "{}",
-        format_table(
-            &[
-                "workload",
-                "tasks",
-                "buffers",
-                "IPM iterations",
-                "solve time (ms)"
-            ],
-            &rows,
-        )
-    );
-    println!();
-    Ok(())
-}
-
-fn ablation() -> Result<(), String> {
-    println!("== Ablation: joint SOCP vs. two-phase flows, interior point vs. cutting plane ==");
-    let configuration = bbs_bench::fig2_configuration();
-    let options = paper_options();
-    let mut rows = Vec::new();
-
-    let timed = |label: &str,
-                 rows: &mut Vec<Vec<String>>,
-                 f: &dyn Fn() -> Result<(u64, u64, bool), String>| {
-        let start = Instant::now();
-        let outcome = f();
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        match outcome {
-            Ok((budget, storage, feasible)) => rows.push(vec![
-                label.to_string(),
-                if feasible {
-                    "yes"
-                } else {
-                    "NO (false negative)"
-                }
-                .to_string(),
-                budget.to_string(),
-                storage.to_string(),
-                format!("{ms:.2}"),
-            ]),
-            Err(e) => rows.push(vec![
-                label.to_string(),
-                format!("NO ({e})"),
-                "-".to_string(),
-                "-".to_string(),
-                format!("{ms:.2}"),
-            ]),
-        }
     };
-
-    // Unconstrained buffers: every flow succeeds; compare costs.
-    timed("joint SOCP (interior point)", &mut rows, &|| {
-        compute_mapping(&configuration, &options)
-            .map(|m| (m.total_budget(), m.total_storage(&configuration), true))
-            .map_err(|e| e.to_string())
-    });
-    timed("joint SOCP (cutting plane)", &mut rows, &|| {
-        compute_mapping(
-            &configuration,
-            &SolveOptions::default()
-                .prefer_budget_minimisation()
-                .with_cutting_plane(),
-        )
-        .map(|m| (m.total_budget(), m.total_storage(&configuration), true))
-        .map_err(|e| e.to_string())
-    });
-    timed("two-phase (min budgets)", &mut rows, &|| {
-        compute_mapping_two_phase(&configuration, BudgetPolicy::ThroughputMinimum, &options)
-            .map(|o| {
-                (
-                    o.mapping.total_budget(),
-                    o.mapping.total_storage(&configuration),
-                    true,
-                )
-            })
-            .map_err(|e| e.to_string())
-    });
-    timed("two-phase (fair share)", &mut rows, &|| {
-        compute_mapping_two_phase(&configuration, BudgetPolicy::FairShare, &options)
-            .map(|o| {
-                (
-                    o.mapping.total_budget(),
-                    o.mapping.total_storage(&configuration),
-                    true,
-                )
-            })
-            .map_err(|e| e.to_string())
-    });
-
-    // Capped buffers (3 containers): the joint flow adapts the budgets, the
-    // minimum-budget two-phase flow reports a false negative.
-    let capped = with_capacity_cap(&configuration, 3);
-    timed("joint SOCP, buffers capped at 3", &mut rows, &|| {
-        compute_mapping(&capped, &options)
-            .map(|m| (m.total_budget(), m.total_storage(&capped), true))
-            .map_err(|e| e.to_string())
-    });
-    timed("two-phase (min budgets), capped at 3", &mut rows, &|| {
-        compute_mapping_two_phase(&capped, BudgetPolicy::ThroughputMinimum, &options)
-            .map(|o| {
-                (
-                    o.mapping.total_budget(),
-                    o.mapping.total_storage(&capped),
-                    true,
-                )
-            })
-            .map_err(|e| e.to_string())
-    });
-
-    print!(
-        "{}",
-        format_table(
-            &[
-                "flow",
-                "feasible",
-                "total budget",
-                "total storage",
-                "time (ms)"
-            ],
-            &rows,
-        )
-    );
-    println!();
-    Ok(())
-}
-
-fn validate() -> Result<(), String> {
-    println!("== Validation: computed mappings executed on the TDM scheduler simulator ==");
-    let options = paper_options();
-    let mut rows = Vec::new();
-    for capacity in [1u64, 2, 4, 6, 8, 10] {
-        let configuration = with_capacity_cap(&bbs_bench::fig2_configuration(), capacity);
-        let mapping = compute_mapping(&configuration, &options).map_err(|e| e.to_string())?;
-        let (budgets, capacities) = mapping_to_simulation_maps(&mapping);
-        let settings = SimulationSettings {
-            iterations: 256,
-            ..SimulationSettings::default()
-        };
-        let result = simulate_mapping(&configuration, &budgets, &capacities, &settings)
-            .map_err(|e| e.to_string())?;
-        rows.push(vec![
-            capacity.to_string(),
-            mapping
-                .budget_of_named(&configuration, "wa")
-                .unwrap_or(0)
-                .to_string(),
-            format!("{:.3}", result.worst_period()),
-            "10.000".to_string(),
-            if result.worst_period() <= 10.0 + 40.0 / 127.0 {
-                "ok"
-            } else {
-                "VIOLATED"
-            }
-            .to_string(),
-        ]);
+    let report = SuiteReport::from_outcome(&outcome);
+    if csv {
+        print!("{}", report.to_csv());
+    } else {
+        print!("{}", report.to_tables());
+        print!("{}", render_timing_summary(&outcome));
     }
-    print!(
-        "{}",
-        format_table(
-            &[
-                "capacity (containers)",
-                "budget (cycles)",
-                "measured period",
-                "required period",
-                "guarantee",
-            ],
-            &rows,
-        )
-    );
-    println!();
-    Ok(())
+
+    let failures = outcome.unexpected_failures();
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (scenario, cap, error) in failures {
+            let cap = cap.map(|c| format!(" cap {c}")).unwrap_or_default();
+            eprintln!("experiment {scenario}{cap} failed: {error}");
+        }
+        ExitCode::FAILURE
+    }
 }

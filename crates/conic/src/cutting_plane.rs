@@ -11,9 +11,10 @@
 use crate::error::ConicError;
 use crate::ipm::IpmSettings;
 use crate::problem::{LinExpr, ModelBuilder, Solution};
+use serde::{Deserialize, Serialize};
 
 /// Parameters for the cutting-plane loop.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CuttingPlaneSettings {
     /// Maximum number of LP rounds.
     pub max_rounds: usize,

@@ -22,9 +22,10 @@ use crate::error::{ConicError, SolveStatus};
 use crate::problem::ConeProblem;
 use crate::scaling::NtScaling;
 use bbs_linalg::{Cholesky, DMatrix, DVector, Ldlt};
+use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the interior-point method.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IpmSettings {
     /// Maximum number of iterations before giving up.
     pub max_iterations: usize,

@@ -83,9 +83,21 @@ pub fn with_capacity_cap(configuration: &Configuration, cap: u64) -> Configurati
 /// `points[i+1]` (one more container). Entries are clamped at zero so a
 /// granularity artefact can never show as a negative saving.
 pub fn budget_reduction_series(points: &[TradeoffPoint]) -> Vec<f64> {
-    points
+    budget_reduction_from_totals(
+        &points
+            .iter()
+            .map(TradeoffPoint::total_budget)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// [`budget_reduction_series`] over a bare series of total budgets, for
+/// callers (such as the batch engine's reports) that do not hold
+/// [`TradeoffPoint`]s. Keeps the clamp-at-zero rule in one place.
+pub fn budget_reduction_from_totals(totals: &[u64]) -> Vec<f64> {
+    totals
         .windows(2)
-        .map(|w| (w[0].total_budget() as f64 - w[1].total_budget() as f64).max(0.0))
+        .map(|w| (w[0] as f64 - w[1] as f64).max(0.0))
         .collect()
 }
 

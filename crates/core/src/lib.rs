@@ -59,9 +59,12 @@ pub mod two_phase;
 pub mod verify;
 
 pub use error::MappingError;
+pub use explore::{sweep_buffer_capacity, with_capacity_cap, TradeoffPoint};
 pub use options::{SolveOptions, SolverKind};
+pub use report::{mapping_report, MappingReport};
 pub use solution::Mapping;
 pub use solver::compute_mapping;
+pub use two_phase::{compute_mapping_two_phase, BudgetPolicy, TwoPhaseOutcome};
 
 #[cfg(test)]
 mod tests {

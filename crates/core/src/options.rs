@@ -1,6 +1,7 @@
 //! Options controlling the joint budget/buffer computation.
 
 use bbs_conic::{CuttingPlaneSettings, IpmSettings};
+use serde::{Deserialize, Serialize};
 
 /// Which optimisation back-end solves Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -16,8 +17,38 @@ pub enum SolverKind {
     CuttingPlane,
 }
 
+impl SolverKind {
+    /// The canonical string form used in scenario files and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolverKind::InteriorPoint => "interior-point",
+            SolverKind::CuttingPlane => "cutting-plane",
+        }
+    }
+}
+
+// The vendored serde_derive shim does not handle enums, so the string form
+// is implemented by hand: `"interior-point"` / `"cutting-plane"`.
+impl Serialize for SolverKind {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for SolverKind {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) if s == "interior-point" => Ok(SolverKind::InteriorPoint),
+            serde::Value::Str(s) if s == "cutting-plane" => Ok(SolverKind::CuttingPlane),
+            other => Err(serde::Error::custom(format!(
+                "expected \"interior-point\" or \"cutting-plane\", found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Options of [`crate::compute_mapping`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveOptions {
     /// Optimisation back-end.
     pub solver: SolverKind,
@@ -93,6 +124,21 @@ mod tests {
         assert!(o.verify);
         assert_eq!(o.budget_weight_scale, 1.0);
         assert_eq!(o.storage_weight_scale, 1.0);
+    }
+
+    #[test]
+    fn options_round_trip_through_json() {
+        let options = SolveOptions::default()
+            .prefer_budget_minimisation()
+            .with_cutting_plane();
+        let json = serde_json::to_string(&options).unwrap();
+        assert!(json.contains("\"cutting-plane\""));
+        let back: SolveOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, options);
+        assert!(
+            serde_json::from_str::<SolveOptions>(&json.replace("cutting-plane", "simplex"))
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! `bbs` — run budget/buffer scenario suites from the command line.
+//!
+//! ```text
+//! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
+//!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+//! bbs list
+//! bbs check REPORT.json
+//! ```
+//!
+//! `run` executes a built-in suite (default: `paper`) or a suite file,
+//! prints the result tables plus a timing summary, and optionally writes the
+//! machine-readable report as JSON/CSV/markdown (`-` writes to stdout).
+//! `check` parses and schema-validates a report produced by `run`. The exit
+//! code is non-zero when anything failed, including scenarios with
+//! unexpectedly infeasible points.
+
+use bbs_engine::report::render_timing_summary;
+use bbs_engine::suites::{builtin_suite, builtin_suite_names};
+use bbs_engine::{run_suite, RunSettings, Suite, SuiteReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
+          [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+  bbs list
+  bbs check REPORT.json
+
+`--json`/`--csv`/`--markdown` accept `-` for stdout.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("list") => list(),
+        Some("check") => check(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bbs: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunArgs {
+    suite: Option<String>,
+    file: Option<String>,
+    jobs: usize,
+    use_cache: bool,
+    json: Option<String>,
+    csv: Option<String>,
+    markdown: Option<String>,
+    quiet: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        suite: None,
+        file: None,
+        jobs: 1,
+        use_cache: true,
+        json: None,
+        csv: None,
+        markdown: None,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--suite" => parsed.suite = Some(value("--suite")?),
+            "--file" => parsed.file = Some(value("--file")?),
+            "--jobs" => {
+                let raw = value("--jobs")?;
+                parsed.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
+            }
+            "--no-cache" => parsed.use_cache = false,
+            "--json" => parsed.json = Some(value("--json")?),
+            "--csv" => parsed.csv = Some(value("--csv")?),
+            "--markdown" => parsed.markdown = Some(value("--markdown")?),
+            "--quiet" => parsed.quiet = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if parsed.suite.is_some() && parsed.file.is_some() {
+        return Err("use either --suite or --file, not both".to_string());
+    }
+    Ok(parsed)
+}
+
+fn load_suite(args: &RunArgs) -> Result<Suite, String> {
+    if let Some(path) = &args.file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let suite: Suite =
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not a suite file: {e}"))?;
+        return Ok(suite);
+    }
+    let name = args.suite.as_deref().unwrap_or("paper");
+    builtin_suite(name).ok_or_else(|| {
+        format!(
+            "no built-in suite `{name}`; known: {}",
+            builtin_suite_names().join(", ")
+        )
+    })
+}
+
+fn write_output(path: &str, contents: &str, label: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(path, contents).map_err(|e| format!("cannot write {label} {path}: {e}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let args = parse_run_args(args)?;
+    let suite = load_suite(&args)?;
+    let settings = RunSettings {
+        jobs: args.jobs,
+        use_cache: args.use_cache,
+        ..RunSettings::default()
+    };
+    let outcome = run_suite(&suite, &settings).map_err(|e| e.to_string())?;
+    let report = SuiteReport::from_outcome(&outcome);
+    report.validate().map_err(|e| e.to_string())?;
+
+    if let Some(path) = &args.json {
+        write_output(path, &report.to_json(), "JSON report")?;
+    }
+    if let Some(path) = &args.csv {
+        write_output(path, &report.to_csv(), "CSV report")?;
+    }
+    if let Some(path) = &args.markdown {
+        write_output(path, &report.to_markdown(), "markdown report")?;
+    }
+    if !args.quiet {
+        print!("{}", report.to_tables());
+        print!("{}", render_timing_summary(&outcome));
+    }
+
+    let failures = outcome.unexpected_failures();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        // Not just infeasibility: solver breakdowns and model errors land
+        // here too (see SuiteOutcome::unexpected_failures).
+        let mut message = String::from("unexpected failures:");
+        for (scenario, cap, error) in failures {
+            let cap = cap.map(|c| format!(" cap {c}")).unwrap_or_default();
+            message.push_str(&format!("\n  {scenario}{cap}: {error}"));
+        }
+        Err(message)
+    }
+}
+
+fn list() -> Result<(), String> {
+    for name in builtin_suite_names() {
+        let suite = builtin_suite(name).expect("listed suites exist");
+        let points: usize = suite
+            .scenarios
+            .iter()
+            .map(|s| {
+                s.sweep
+                    .as_ref()
+                    .and_then(|sweep| sweep.caps().ok())
+                    .map_or(1, |caps| caps.len())
+            })
+            .sum();
+        println!(
+            "{name:<12} {:>2} scenarios, {points:>3} solve points",
+            suite.scenarios.len()
+        );
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("`check` needs exactly one report path\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = SuiteReport::from_json(&text).map_err(|e| e.to_string())?;
+    let points: usize = report.scenarios.iter().map(|s| s.points.len()).sum();
+    println!(
+        "{path}: valid schema v{} report of suite `{}` ({} scenarios, {points} points)",
+        report.schema_version,
+        report.suite,
+        report.scenarios.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,264 @@
+//! Memoization of joint solves.
+//!
+//! Overlapping sweeps and repeated suite runs solve the same SOCP instance
+//! over and over (the `paper` suite alone requests the capacity-1..10
+//! producer/consumer solve from four different scenarios). The cache keys
+//! each solve by a canonical hash of (configuration, options, flow) and
+//! computes every instance exactly once.
+//!
+//! The per-key slot is claimed *before* solving: when two workers race on
+//! the same key, the first claims the slot (one miss) and the second blocks
+//! on the slot's condvar until the result lands (one hit). Hit/miss counts
+//! are therefore deterministic — misses equal the number of distinct keys,
+//! regardless of worker count or scheduling — which keeps reports
+//! byte-identical across `--jobs` settings.
+
+use bbs_conic::ConicError;
+use bbs_taskgraph::Configuration;
+use budget_buffer::{Mapping, MappingError, SolveOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The canonical identity of one solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a fingerprint of the configuration's canonical JSON — a cheap
+    /// prehash for diagnostics and logs.
+    pub fingerprint: u64,
+    /// The canonical JSON of the (capped) configuration, kept verbatim so
+    /// equality is exact: a 64-bit fingerprint collision can therefore
+    /// never alias two different problems to one cache slot.
+    pub configuration: String,
+    /// Canonical JSON of the solve options.
+    pub options: String,
+    /// Flow name (`joint`, `two-phase-min`, `two-phase-fair`).
+    pub flow: String,
+}
+
+impl CacheKey {
+    /// Builds the key for solving `configuration` with `options` under
+    /// `flow`.
+    pub fn new(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
+        let configuration = configuration.canonical_json();
+        Self {
+            fingerprint: bbs_taskgraph::fnv1a(configuration.as_bytes()),
+            configuration,
+            options: serde_json::to_string(options).expect("options serialise to JSON"),
+            flow: flow.to_string(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`SolveCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including waits on in-flight
+    /// solves).
+    pub hits: u64,
+    /// Lookups that had to solve.
+    pub misses: u64,
+}
+
+/// One memoization slot: filled exactly once, awaited by later lookups.
+struct Slot {
+    result: Mutex<Option<Result<Mapping, MappingError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// A thread-safe memoization table for joint solves.
+#[derive(Default)]
+pub struct SolveCache {
+    slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized result for `key`, calling `solve` exactly once
+    /// per distinct key across all threads. The boolean is `true` for a
+    /// cache hit.
+    pub fn solve_with(
+        &self,
+        key: CacheKey,
+        solve: impl FnOnce() -> Result<Mapping, MappingError>,
+    ) -> (Result<Mapping, MappingError>, bool) {
+        let (slot, claimed) = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            match slots.entry(key) {
+                Entry::Occupied(entry) => (Arc::clone(entry.get()), false),
+                Entry::Vacant(entry) => (Arc::clone(entry.insert(Arc::new(Slot::new()))), true),
+            }
+        };
+        if claimed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            // A panicking solve must still fill the slot, or every waiter on
+            // this key would block forever and the joining scope would hang
+            // instead of propagating the panic.
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(solve)) {
+                Ok(result) => result,
+                Err(panic) => {
+                    let poison = Err(MappingError::Solver(ConicError::NumericalBreakdown {
+                        iteration: 0,
+                        detail: "solve panicked; see the primary failure".to_string(),
+                    }));
+                    let mut guard = slot.result.lock().expect("slot lock poisoned");
+                    *guard = Some(poison);
+                    slot.ready.notify_all();
+                    drop(guard);
+                    std::panic::resume_unwind(panic);
+                }
+            };
+            let mut guard = slot.result.lock().expect("slot lock poisoned");
+            *guard = Some(result.clone());
+            slot.ready.notify_all();
+            drop(guard);
+            (result, false)
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let mut guard = slot.result.lock().expect("slot lock poisoned");
+            while guard.is_none() {
+                guard = slot.ready.wait(guard).expect("slot wait poisoned");
+            }
+            (guard.clone().expect("slot filled"), true)
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+    use budget_buffer::{compute_mapping, with_capacity_cap};
+
+    fn paper_options() -> SolveOptions {
+        SolveOptions::default().prefer_budget_minimisation()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_with_equal_result() {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let options = paper_options();
+        let cache = SolveCache::new();
+        let key = CacheKey::new(&configuration, &options, "joint");
+        let (first, hit1) =
+            cache.solve_with(key.clone(), || compute_mapping(&configuration, &options));
+        let (second, hit2) = cache.solve_with(key, || panic!("must not re-solve"));
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first.unwrap(), second.unwrap());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_caps_use_distinct_keys() {
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = paper_options();
+        let k4 = CacheKey::new(&with_capacity_cap(&base, 4), &options, "joint");
+        let k5 = CacheKey::new(&with_capacity_cap(&base, 5), &options, "joint");
+        assert_ne!(k4, k5);
+        let other_flow = CacheKey::new(&with_capacity_cap(&base, 4), &options, "two-phase-min");
+        assert_ne!(k4, other_flow);
+        let other_options = CacheKey::new(
+            &with_capacity_cap(&base, 4),
+            &paper_options().with_cutting_plane(),
+            "joint",
+        );
+        assert_ne!(k4, other_options);
+    }
+
+    #[test]
+    fn key_equality_survives_a_fingerprint_collision() {
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = paper_options();
+        let a = CacheKey::new(&with_capacity_cap(&base, 4), &options, "joint");
+        let mut b = CacheKey::new(&with_capacity_cap(&base, 5), &options, "joint");
+        // Simulate a 64-bit collision: equality must still separate the two
+        // problems because the full canonical JSON is compared.
+        b.fingerprint = a.fingerprint;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failures_are_memoized_too() {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let cache = SolveCache::new();
+        let key = CacheKey::new(&configuration, &paper_options(), "joint");
+        let (first, _) = cache.solve_with(key.clone(), || {
+            Err(MappingError::Infeasible {
+                detail: "injected".to_string(),
+            })
+        });
+        assert!(first.is_err());
+        let (second, hit) = cache.solve_with(key, || panic!("must not re-solve"));
+        assert!(hit);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn panicking_solve_poisons_the_slot_instead_of_deadlocking() {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let cache = SolveCache::new();
+        let key = CacheKey::new(&configuration, &paper_options(), "joint");
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.solve_with(key.clone(), || panic!("injected solver panic"))
+        }));
+        assert!(panicked.is_err(), "the claimer must re-raise the panic");
+        // Waiters (and later lookups) get a poison error instead of hanging.
+        let (result, hit) = cache.solve_with(key, || panic!("must not re-solve"));
+        assert!(hit);
+        assert!(result.unwrap_err().to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn concurrent_lookups_solve_once() {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let options = paper_options();
+        let cache = SolveCache::new();
+        let solves = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let key = CacheKey::new(&configuration, &options, "joint");
+                    let (result, _) = cache.solve_with(key, || {
+                        solves.fetch_add(1, Ordering::Relaxed);
+                        compute_mapping(&configuration, &options)
+                    });
+                    assert!(result.is_ok());
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

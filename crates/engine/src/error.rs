@@ -1,0 +1,24 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Errors raised while validating or executing scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A scenario or suite is malformed (unknown preset/flow, empty sweep,
+    /// missing workload, duplicate names, ...).
+    InvalidScenario(String),
+    /// A suite file or report could not be parsed.
+    InvalidInput(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidScenario(message) => write!(f, "invalid scenario: {message}"),
+            EngineError::InvalidInput(message) => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,634 @@
+//! The parallel batch executor.
+//!
+//! A suite expands into a flat list of *work items* — one per (scenario,
+//! sweep point) pair — that a hand-rolled `std::thread` worker pool drains
+//! through the shared [`SolveCache`]. Results are collected into slots
+//! pre-addressed by (scenario index, point index), so the outcome order is
+//! the suite order no matter how the workers interleave; combined with the
+//! cache's deterministic hit/miss accounting this makes the run's report
+//! independent of the worker count.
+
+use crate::cache::{CacheKey, CacheStats, SolveCache};
+use crate::error::EngineError;
+use crate::scenario::{Flow, Scenario, Suite};
+use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
+use bbs_taskgraph::Configuration;
+use budget_buffer::{
+    compute_mapping, compute_mapping_two_phase, with_capacity_cap, BudgetPolicy, Mapping,
+    MappingError, SolveOptions,
+};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a suite is executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSettings {
+    /// Number of worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Memoize solves in a run-wide [`SolveCache`].
+    pub use_cache: bool,
+    /// Firings per task when a scenario requests simulator validation.
+    pub simulation_iterations: usize,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            use_cache: true,
+            simulation_iterations: 256,
+        }
+    }
+}
+
+impl RunSettings {
+    /// Settings with `jobs` workers and the cache enabled.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+}
+
+/// The simulator validation attached to one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationCheck {
+    /// Worst measured steady-state period across all task graphs.
+    pub measured_period: f64,
+    /// Largest period requirement of the configuration.
+    pub required_period: f64,
+    /// Transient slack granted on top of the requirement (one replenishment
+    /// interval amortised over the measured iterations).
+    pub tolerance: f64,
+    /// `measured_period <= required_period + tolerance`.
+    pub guarantee_ok: bool,
+}
+
+/// The outcome of one work item: one solve (plus optional simulation).
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The capacity cap of the sweep point (`None` for single solves).
+    pub capacity_cap: Option<u64>,
+    /// The mapping, or the error that prevented one.
+    pub result: Result<Mapping, MappingError>,
+    /// Wall-clock time this worker spent actually solving: zero on cache
+    /// hits (even ones that waited on another worker's in-flight solve, so
+    /// shared work is never double-counted). Never part of the serialisable
+    /// report.
+    pub solve_time: Duration,
+    /// Whether the solve was answered by the cache.
+    pub cache_hit: bool,
+    /// Simulator validation, when the scenario requested it and the solve
+    /// succeeded.
+    pub simulation: Option<SimulationCheck>,
+}
+
+/// The outcome of one scenario: its resolved inputs plus one
+/// [`PointOutcome`] per sweep point.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario as submitted.
+    pub scenario: Scenario,
+    /// The resolved (uncapped) workload configuration.
+    pub configuration: Configuration,
+    /// The resolved flow.
+    pub flow: Flow,
+    /// The resolved solver options.
+    pub options: SolveOptions,
+    /// One outcome per sweep point, in sweep order.
+    pub points: Vec<PointOutcome>,
+}
+
+impl ScenarioOutcome {
+    /// The total budgets of the feasible points, in sweep order (the series
+    /// behind the Figure 2(b)-style derivative).
+    pub fn feasible_total_budgets(&self) -> Vec<u64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok().map(Mapping::total_budget))
+            .collect()
+    }
+}
+
+/// The outcome of a full suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Name of the suite.
+    pub suite: String,
+    /// One outcome per scenario, in suite order.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Cache counters of the run (all zero when the cache was disabled).
+    pub cache: CacheStats,
+    /// Whether the cache was enabled.
+    pub cache_enabled: bool,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl SuiteOutcome {
+    /// Infeasible or failed points that the suite did not declare as
+    /// expected, as `(scenario, capacity_cap, error)` tuples.
+    ///
+    /// `expect_infeasible` only excuses *infeasibility* — a model whose
+    /// constraints genuinely admit no mapping. Solver breakdowns, model
+    /// errors and verification failures are regressions and stay unexpected
+    /// even in such scenarios, so they can never hide behind an expected
+    /// false negative.
+    pub fn unexpected_failures(&self) -> Vec<(String, Option<u64>, String)> {
+        let mut failures = Vec::new();
+        for outcome in &self.scenarios {
+            let expect_infeasible = outcome.scenario.expect_infeasible.unwrap_or(false);
+            for point in &outcome.points {
+                if let Err(error) = &point.result {
+                    if expect_infeasible && is_infeasibility(error) {
+                        continue;
+                    }
+                    failures.push((
+                        outcome.scenario.name.clone(),
+                        point.capacity_cap,
+                        error.to_string(),
+                    ));
+                }
+            }
+        }
+        failures
+    }
+}
+
+/// Whether an error reports genuine infeasibility (no mapping exists) as
+/// opposed to a solver, model or verification failure.
+fn is_infeasibility(error: &MappingError) -> bool {
+    matches!(
+        error,
+        MappingError::Infeasible { .. }
+            | MappingError::CapBelowInitialTokens { .. }
+            | MappingError::ProcessorOverloaded { .. }
+            | MappingError::MemoryOverflow { .. }
+    )
+}
+
+/// One solve to perform: the capped configuration plus everything needed to
+/// route the result back to its slot.
+struct WorkItem {
+    scenario_index: usize,
+    point_index: usize,
+    capacity_cap: Option<u64>,
+    configuration: Configuration,
+    options: SolveOptions,
+    flow: Flow,
+    simulate: bool,
+}
+
+/// Runs a whole suite with a fresh solve cache.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the suite fails validation; solver-level
+/// failures are *data* (recorded per point), not errors.
+pub fn run_suite(suite: &Suite, settings: &RunSettings) -> Result<SuiteOutcome, EngineError> {
+    run_suite_with_cache(suite, settings, &SolveCache::new())
+}
+
+/// Runs a whole suite against a caller-owned [`SolveCache`], so repeated
+/// runs (and overlapping suites) skip redundant solves. The outcome's
+/// counters are the cache's cumulative totals.
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_suite_with_cache(
+    suite: &Suite,
+    settings: &RunSettings,
+    cache: &SolveCache,
+) -> Result<SuiteOutcome, EngineError> {
+    suite.validate_structure()?;
+    let start = Instant::now();
+
+    // Resolve every scenario exactly once (full `Suite::validate` would
+    // build each workload a second time just to discard it) and expand the
+    // sweeps.
+    let in_scenario = |name: &str, e: EngineError| {
+        EngineError::InvalidScenario(format!("scenario `{name}`: {e}"))
+    };
+    let mut resolved = Vec::new();
+    let mut items = VecDeque::new();
+    for (scenario_index, scenario) in suite.scenarios.iter().enumerate() {
+        let configuration = scenario
+            .workload
+            .resolve()
+            .map_err(|e| in_scenario(&scenario.name, e))?;
+        let flow = scenario
+            .resolved_flow()
+            .map_err(|e| in_scenario(&scenario.name, e))?;
+        let options = scenario.resolved_options();
+        let caps: Vec<Option<u64>> = match &scenario.sweep {
+            Some(sweep) => sweep
+                .caps()
+                .map_err(|e| in_scenario(&scenario.name, e))?
+                .into_iter()
+                .map(Some)
+                .collect(),
+            None => vec![None],
+        };
+        for (point_index, cap) in caps.iter().enumerate() {
+            let capped = match cap {
+                Some(cap) => with_capacity_cap(&configuration, *cap),
+                None => configuration.clone(),
+            };
+            items.push_back(WorkItem {
+                scenario_index,
+                point_index,
+                capacity_cap: *cap,
+                configuration: capped,
+                options: options.clone(),
+                flow,
+                simulate: scenario.simulate.unwrap_or(false),
+            });
+        }
+        resolved.push((scenario.clone(), configuration, flow, options, caps.len()));
+    }
+
+    let total_items = items.len();
+    let queue = Mutex::new(items);
+    let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
+    let jobs = settings.jobs.max(1).min(total_items.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let queue = &queue;
+            let sender = sender.clone();
+            scope.spawn(move || {
+                loop {
+                    let item = queue.lock().expect("queue lock poisoned").pop_front();
+                    let Some(item) = item else { break };
+                    let outcome = execute_item(&item, cache, settings);
+                    // The receiver lives until every sender hung up; a send
+                    // failure means the main thread panicked already.
+                    let _ = sender.send((item.scenario_index, item.point_index, outcome));
+                }
+            });
+        }
+        drop(sender);
+
+        // Collect into pre-addressed slots: suite order, not finish order.
+        let mut slots: Vec<Vec<Option<PointOutcome>>> = resolved
+            .iter()
+            .map(|(_, _, _, _, points)| vec![None; *points])
+            .collect();
+        for (scenario_index, point_index, outcome) in receiver {
+            slots[scenario_index][point_index] = Some(outcome);
+        }
+
+        let scenarios = resolved
+            .into_iter()
+            .zip(slots)
+            .map(
+                |((scenario, configuration, flow, options, _), points)| ScenarioOutcome {
+                    scenario,
+                    configuration,
+                    flow,
+                    options,
+                    points: points
+                        .into_iter()
+                        .map(|p| p.expect("every work item reports exactly once"))
+                        .collect(),
+                },
+            )
+            .collect();
+
+        Ok(SuiteOutcome {
+            suite: suite.name.clone(),
+            scenarios,
+            cache: if settings.use_cache {
+                cache.stats()
+            } else {
+                // The bypassed cache may hold counters from earlier runs;
+                // reporting them here would contradict `cache_enabled`.
+                CacheStats { hits: 0, misses: 0 }
+            },
+            cache_enabled: settings.use_cache,
+            wall_time: start.elapsed(),
+        })
+    })
+}
+
+/// Runs a single scenario (a one-element suite with the scenario's name).
+///
+/// # Errors
+///
+/// See [`run_suite`].
+pub fn run_scenario(
+    scenario: &Scenario,
+    settings: &RunSettings,
+) -> Result<ScenarioOutcome, EngineError> {
+    let suite = Suite::new(&scenario.name, vec![scenario.clone()]);
+    let outcome = run_suite(&suite, settings)?;
+    Ok(outcome
+        .scenarios
+        .into_iter()
+        .next()
+        .expect("one scenario in, one outcome out"))
+}
+
+fn execute_item(item: &WorkItem, cache: &SolveCache, settings: &RunSettings) -> PointOutcome {
+    // Timed inside the closure so that a cache hit — including one that
+    // blocks waiting for another worker's in-flight solve — reports zero
+    // solver work instead of double-counting the shared solve.
+    let solve_duration = std::cell::Cell::new(Duration::ZERO);
+    let solve = || {
+        let start = Instant::now();
+        let result = solve_flow(&item.configuration, &item.options, item.flow);
+        solve_duration.set(start.elapsed());
+        result
+    };
+    let (result, cache_hit) = if settings.use_cache {
+        let key = CacheKey::new(&item.configuration, &item.options, item.flow.as_str());
+        cache.solve_with(key, solve)
+    } else {
+        (solve(), false)
+    };
+    let solve_time = solve_duration.get();
+    let simulation = match (&result, item.simulate) {
+        (Ok(mapping), true) => Some(simulate_point(
+            &item.configuration,
+            mapping,
+            settings.simulation_iterations,
+        )),
+        _ => None,
+    };
+    PointOutcome {
+        capacity_cap: item.capacity_cap,
+        result,
+        solve_time,
+        cache_hit,
+        simulation,
+    }
+}
+
+fn solve_flow(
+    configuration: &Configuration,
+    options: &SolveOptions,
+    flow: Flow,
+) -> Result<Mapping, MappingError> {
+    match flow {
+        Flow::Joint => compute_mapping(configuration, options),
+        Flow::TwoPhaseMin => {
+            compute_mapping_two_phase(configuration, BudgetPolicy::ThroughputMinimum, options)
+                .map(|outcome| outcome.mapping)
+        }
+        Flow::TwoPhaseFair => {
+            compute_mapping_two_phase(configuration, BudgetPolicy::FairShare, options)
+                .map(|outcome| outcome.mapping)
+        }
+    }
+}
+
+fn simulate_point(
+    configuration: &Configuration,
+    mapping: &Mapping,
+    iterations: usize,
+) -> SimulationCheck {
+    let budgets = mapping.budgets().collect();
+    let capacities = mapping.capacities().collect();
+    let settings = SimulationSettings {
+        iterations,
+        ..SimulationSettings::default()
+    };
+    let required_period = configuration
+        .task_graphs()
+        .map(|(_, graph)| graph.period())
+        .fold(0.0f64, f64::max);
+    // The measured period averages the second half of the run, so the
+    // start-up transient of at most one replenishment interval is amortised
+    // over `iterations / 2 - 1` steady-state firings.
+    let max_replenishment = configuration
+        .processors()
+        .map(|(_, p)| p.replenishment_interval())
+        .fold(0.0f64, f64::max);
+    let tolerance = max_replenishment / ((iterations / 2).saturating_sub(1).max(1)) as f64;
+    match simulate_mapping(configuration, &budgets, &capacities, &settings) {
+        Ok(result) => {
+            let measured_period = result.worst_period();
+            SimulationCheck {
+                measured_period,
+                required_period,
+                tolerance,
+                guarantee_ok: measured_period <= required_period + tolerance,
+            }
+        }
+        Err(_) => SimulationCheck {
+            measured_period: f64::INFINITY,
+            required_period,
+            tolerance,
+            guarantee_ok: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{SweepSpec, WorkloadSpec};
+    use bbs_taskgraph::presets::PresetSpec;
+    use budget_buffer::sweep_buffer_capacity;
+
+    fn pc_sweep_scenario(name: &str) -> Scenario {
+        Scenario::new(
+            name,
+            WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+        )
+        .with_sweep(SweepSpec::range(1, 6))
+    }
+
+    #[test]
+    fn engine_sweep_matches_direct_sweep() {
+        let outcome = run_scenario(&pc_sweep_scenario("pc"), &RunSettings::default()).unwrap();
+        let direct = sweep_buffer_capacity(
+            &outcome.configuration,
+            1..=6,
+            &SolveOptions::default().prefer_budget_minimisation(),
+        )
+        .unwrap();
+        assert_eq!(outcome.points.len(), direct.len());
+        for (point, reference) in outcome.points.iter().zip(&direct) {
+            assert_eq!(point.capacity_cap, Some(reference.capacity_cap));
+            assert_eq!(point.result.as_ref().unwrap(), &reference.mapping);
+        }
+    }
+
+    #[test]
+    fn parallel_run_produces_same_mappings_in_same_order() {
+        let suite = Suite::new("par", vec![pc_sweep_scenario("a"), pc_sweep_scenario("b")]);
+        let sequential = run_suite(&suite, &RunSettings::with_jobs(1)).unwrap();
+        let parallel = run_suite(&suite, &RunSettings::with_jobs(8)).unwrap();
+        assert_eq!(sequential.scenarios.len(), parallel.scenarios.len());
+        for (s, p) in sequential.scenarios.iter().zip(&parallel.scenarios) {
+            assert_eq!(s.scenario.name, p.scenario.name);
+            for (sp, pp) in s.points.iter().zip(&p.points) {
+                assert_eq!(sp.capacity_cap, pp.capacity_cap);
+                assert_eq!(sp.result.as_ref().unwrap(), pp.result.as_ref().unwrap());
+            }
+        }
+        assert_eq!(sequential.cache, parallel.cache);
+    }
+
+    #[test]
+    fn identical_scenarios_hit_the_cache() {
+        let suite = Suite::new(
+            "cached",
+            vec![pc_sweep_scenario("first"), pc_sweep_scenario("second")],
+        );
+        let outcome = run_suite(&suite, &RunSettings::default()).unwrap();
+        assert_eq!(outcome.cache.misses, 6);
+        assert_eq!(outcome.cache.hits, 6);
+        assert!(outcome.scenarios[1].points.iter().all(|p| p.cache_hit));
+        assert!(outcome.unexpected_failures().is_empty());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_a_shared_cache() {
+        let suite = Suite::new("repeat", vec![pc_sweep_scenario("pc")]);
+        let cache = crate::cache::SolveCache::new();
+        let settings = RunSettings::default();
+        let first = run_suite_with_cache(&suite, &settings, &cache).unwrap();
+        assert_eq!(first.cache.misses, 6);
+        assert_eq!(first.cache.hits, 0);
+        let second = run_suite_with_cache(&suite, &settings, &cache).unwrap();
+        assert_eq!(second.cache.misses, 6, "no new solves on the second run");
+        assert_eq!(second.cache.hits, 6);
+        assert!(second.scenarios[0].points.iter().all(|p| p.cache_hit));
+        for (a, b) in first.scenarios[0]
+            .points
+            .iter()
+            .zip(&second.scenarios[0].points)
+        {
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn disabled_cache_reports_zero_counters() {
+        let settings = RunSettings {
+            use_cache: false,
+            ..RunSettings::default()
+        };
+        let outcome = run_scenario(&pc_sweep_scenario("raw"), &settings).unwrap();
+        assert!(outcome.points.iter().all(|p| !p.cache_hit));
+        // Even a dirty shared cache must not leak counters into a run that
+        // bypassed it.
+        let cache = SolveCache::new();
+        let suite = Suite::new("raw", vec![pc_sweep_scenario("raw")]);
+        run_suite_with_cache(&suite, &RunSettings::default(), &cache).unwrap();
+        let bypassed = run_suite_with_cache(&suite, &settings, &cache).unwrap();
+        assert!(!bypassed.cache_enabled);
+        assert_eq!(bypassed.cache, CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn expect_infeasible_excuses_only_genuine_infeasibility() {
+        use bbs_conic::ConicError;
+
+        assert!(is_infeasibility(&MappingError::Infeasible {
+            detail: "x".to_string()
+        }));
+        assert!(!is_infeasibility(&MappingError::Solver(
+            ConicError::NonFiniteData
+        )));
+
+        // A solver breakdown inside an expect_infeasible scenario still
+        // counts as an unexpected failure.
+        let scenario = pc_sweep_scenario("broken").expecting_infeasible();
+        let configuration = scenario.workload.resolve().unwrap();
+        let options = scenario.resolved_options();
+        let outcome = SuiteOutcome {
+            suite: "s".to_string(),
+            scenarios: vec![ScenarioOutcome {
+                scenario,
+                configuration,
+                flow: Flow::Joint,
+                options,
+                points: vec![
+                    PointOutcome {
+                        capacity_cap: Some(1),
+                        result: Err(MappingError::Infeasible {
+                            detail: "expected".to_string(),
+                        }),
+                        solve_time: Duration::ZERO,
+                        cache_hit: false,
+                        simulation: None,
+                    },
+                    PointOutcome {
+                        capacity_cap: Some(2),
+                        result: Err(MappingError::Solver(ConicError::NonFiniteData)),
+                        solve_time: Duration::ZERO,
+                        cache_hit: false,
+                        simulation: None,
+                    },
+                ],
+            }],
+            cache: CacheStats { hits: 0, misses: 0 },
+            cache_enabled: true,
+            wall_time: Duration::ZERO,
+        };
+        let failures = outcome.unexpected_failures();
+        assert_eq!(failures.len(), 1, "only the solver breakdown surfaces");
+        assert_eq!(failures[0].1, Some(2));
+    }
+
+    #[test]
+    fn infeasible_points_are_data_not_errors() {
+        // Ring with 2 initial tokens is infeasible at cap 1 (cap below the
+        // initial tokens).
+        let scenario = Scenario::new(
+            "ring-tight",
+            WorkloadSpec::preset(
+                PresetSpec::named("ring")
+                    .with_tasks(3)
+                    .with_initial_tokens(2),
+            ),
+        )
+        .with_sweep(SweepSpec::range(1, 3))
+        .expecting_infeasible();
+        let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
+        assert!(outcome.points[0].result.is_err());
+        assert!(outcome.points[1].result.is_ok());
+        let suite = Suite::new("s", vec![scenario]);
+        let suite_outcome = run_suite(&suite, &RunSettings::default()).unwrap();
+        assert!(suite_outcome.unexpected_failures().is_empty());
+    }
+
+    #[test]
+    fn two_phase_flow_runs_through_engine() {
+        let scenario = Scenario::new(
+            "tp",
+            WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+        )
+        .with_flow(Flow::TwoPhaseFair);
+        let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
+        let direct = compute_mapping_two_phase(
+            &outcome.configuration,
+            BudgetPolicy::FairShare,
+            &SolveOptions::default().prefer_budget_minimisation(),
+        )
+        .unwrap();
+        assert_eq!(outcome.points[0].result.as_ref().unwrap(), &direct.mapping);
+    }
+
+    #[test]
+    fn simulation_checks_the_guarantee() {
+        let scenario = Scenario::new(
+            "sim",
+            WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+        )
+        .with_sweep(SweepSpec::list([4u64]))
+        .with_simulation();
+        let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
+        let check = outcome.points[0].simulation.as_ref().unwrap();
+        assert!(check.guarantee_ok, "paper setup must meet its guarantee");
+        assert_eq!(check.required_period, 10.0);
+        assert!(check.measured_period.is_finite());
+    }
+}

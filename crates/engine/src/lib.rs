@@ -1,0 +1,79 @@
+//! Batch-solving engine for the budget/buffer co-computation suite.
+//!
+//! The library crates solve *one* configuration at a time; this crate turns
+//! them into a system that serves whole experiment campaigns:
+//!
+//! * [`scenario`] — the declarative model: a [`Scenario`] names a workload
+//!   (preset by name or inline configuration), an optional capacity sweep,
+//!   [`SolveOptions`](budget_buffer::SolveOptions) and a flow; a [`Suite`]
+//!   is a named batch of scenarios. Both live in JSON files.
+//! * [`suites`] — the built-in suites: `paper` (the six experiments of the
+//!   paper), `paper-plus` (plus the cyclic `ring` experiment) and `smoke`.
+//! * [`executor`] — a hand-rolled `std::thread` worker pool that fans the
+//!   (scenario × sweep-point) work items out across `--jobs N` workers with
+//!   deterministic result ordering.
+//! * [`cache`] — memoization of solves keyed by a canonical hash of
+//!   (configuration, options, flow), with deterministic hit/miss counters.
+//! * [`report`] — the machine-readable [`SuiteReport`] (schema-versioned
+//!   JSON, CSV, markdown) and the human renderers. Reports carry no
+//!   wall-clock data and are byte-identical across worker counts.
+//!
+//! The `bbs` binary is the command-line face of all of this:
+//!
+//! ```text
+//! bbs run --suite paper --jobs 8 --json report.json
+//! bbs run --file my-suite.json --markdown EXPERIMENTS.md
+//! bbs list
+//! bbs check report.json
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_engine::{run_scenario, RunSettings, Scenario, SweepSpec, WorkloadSpec};
+//! use bbs_taskgraph::presets::PresetSpec;
+//!
+//! let scenario = Scenario::new(
+//!     "demo",
+//!     WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+//! )
+//! .with_sweep(SweepSpec::range(1, 4));
+//! let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
+//! assert_eq!(outcome.points.len(), 4);
+//! assert!(outcome.points.iter().all(|p| p.result.is_ok()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod error;
+pub mod executor;
+pub mod report;
+pub mod scenario;
+pub mod suites;
+
+pub use cache::{CacheKey, CacheStats, SolveCache};
+pub use error::EngineError;
+pub use executor::{
+    run_scenario, run_suite, run_suite_with_cache, PointOutcome, RunSettings, ScenarioOutcome,
+    SuiteOutcome,
+};
+pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
+pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<Suite>();
+        assert_send_sync::<SolveCache>();
+        assert_send_sync::<SuiteOutcome>();
+        assert_send_sync::<SuiteReport>();
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -1,0 +1,462 @@
+//! The declarative scenario model: what to solve, over which capacity range,
+//! with which options and flow.
+//!
+//! A [`Scenario`] is one named study — a workload (a preset by name or an
+//! inline [`Configuration`]), an optional capacity sweep, the
+//! [`SolveOptions`] to use and the flow (joint SOCP or one of the two-phase
+//! baselines). A [`Suite`] is a named list of scenarios that runs as one
+//! batch. Both (de)serialise to JSON, so whole experiment campaigns live in
+//! plain files.
+
+use crate::error::EngineError;
+use bbs_taskgraph::presets::PresetSpec;
+use bbs_taskgraph::Configuration;
+use budget_buffer::SolveOptions;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which solving flow a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Flow {
+    /// The paper's contribution: one joint budget/buffer SOCP.
+    #[default]
+    Joint,
+    /// Two-phase baseline with throughput-minimum budgets fixed first.
+    TwoPhaseMin,
+    /// Two-phase baseline with fair-share budgets fixed first.
+    TwoPhaseFair,
+}
+
+impl Flow {
+    /// The canonical string form used in scenario files and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Flow::Joint => "joint",
+            Flow::TwoPhaseMin => "two-phase-min",
+            Flow::TwoPhaseFair => "two-phase-fair",
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an unknown flow name.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        match text {
+            "joint" => Ok(Flow::Joint),
+            "two-phase-min" => Ok(Flow::TwoPhaseMin),
+            "two-phase-fair" => Ok(Flow::TwoPhaseFair),
+            other => Err(EngineError::InvalidScenario(format!(
+                "unknown flow `{other}`; known: joint, two-phase-min, two-phase-fair"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a scenario's configuration comes from: a preset by name or an
+/// inline configuration. Exactly one of the two must be set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// A preset generator reference (see [`PresetSpec`]).
+    pub preset: Option<PresetSpec>,
+    /// A full inline configuration.
+    pub inline: Option<Configuration>,
+}
+
+impl WorkloadSpec {
+    /// A workload built from a preset spec.
+    pub fn preset(spec: PresetSpec) -> Self {
+        Self {
+            preset: Some(spec),
+            inline: None,
+        }
+    }
+
+    /// A workload carrying its configuration inline.
+    pub fn inline(configuration: Configuration) -> Self {
+        Self {
+            preset: None,
+            inline: Some(configuration),
+        }
+    }
+
+    /// Builds the configuration the spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] when neither or both sources
+    /// are set, when the preset is unknown, or when the resulting
+    /// configuration fails validation.
+    pub fn resolve(&self) -> Result<Configuration, EngineError> {
+        let configuration = match (&self.preset, &self.inline) {
+            (Some(spec), None) => spec.build().map_err(EngineError::InvalidScenario)?,
+            (None, Some(configuration)) => configuration.clone(),
+            (None, None) => {
+                return Err(EngineError::InvalidScenario(
+                    "workload needs either `preset` or `inline`".to_string(),
+                ))
+            }
+            (Some(_), Some(_)) => {
+                return Err(EngineError::InvalidScenario(
+                    "workload must set `preset` or `inline`, not both".to_string(),
+                ))
+            }
+        };
+        configuration
+            .validate()
+            .map_err(|e| EngineError::InvalidScenario(format!("invalid workload: {e}")))?;
+        Ok(configuration)
+    }
+}
+
+/// The buffer-capacity sweep of a scenario: either an inclusive `from..=to`
+/// range or an explicit list of caps. An explicit list wins when both are
+/// given.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// First capacity cap of the inclusive range.
+    pub from: Option<u64>,
+    /// Last capacity cap of the inclusive range.
+    pub to: Option<u64>,
+    /// Explicit capacity caps (overrides `from`/`to`).
+    pub list: Option<Vec<u64>>,
+}
+
+impl SweepSpec {
+    /// An inclusive `from..=to` sweep.
+    pub fn range(from: u64, to: u64) -> Self {
+        Self {
+            from: Some(from),
+            to: Some(to),
+            list: None,
+        }
+    }
+
+    /// A sweep over an explicit list of caps.
+    pub fn list(caps: impl Into<Vec<u64>>) -> Self {
+        Self {
+            from: None,
+            to: None,
+            list: Some(caps.into()),
+        }
+    }
+
+    /// The capacity caps the sweep expands to, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an empty or descending
+    /// sweep and for caps of zero containers.
+    pub fn caps(&self) -> Result<Vec<u64>, EngineError> {
+        let caps: Vec<u64> = match (&self.list, self.from, self.to) {
+            (Some(list), _, _) => list.clone(),
+            (None, Some(from), Some(to)) if from <= to => (from..=to).collect(),
+            (None, Some(from), Some(to)) => {
+                return Err(EngineError::InvalidScenario(format!(
+                    "sweep range {from}..={to} is descending"
+                )))
+            }
+            _ => {
+                return Err(EngineError::InvalidScenario(
+                    "sweep needs `list` or both `from` and `to`".to_string(),
+                ))
+            }
+        };
+        if caps.is_empty() {
+            return Err(EngineError::InvalidScenario("sweep is empty".to_string()));
+        }
+        if caps.contains(&0) {
+            return Err(EngineError::InvalidScenario(
+                "a capacity cap of 0 containers cannot hold any data".to_string(),
+            ));
+        }
+        Ok(caps)
+    }
+}
+
+/// One named study: workload, optional sweep, options, flow and
+/// post-processing flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Name of the scenario, unique within its suite.
+    pub name: String,
+    /// Where the configuration comes from.
+    pub workload: WorkloadSpec,
+    /// Capacity sweep; `None` solves the workload once, as configured.
+    pub sweep: Option<SweepSpec>,
+    /// Solver options; `None` uses the paper's budget-priority weights.
+    pub options: Option<SolveOptions>,
+    /// Flow name (`joint`, `two-phase-min`, `two-phase-fair`); `None` means
+    /// `joint`.
+    pub flow: Option<String>,
+    /// Also report the per-step budget reduction of the sweep (Figure 2(b)).
+    pub derivative: Option<bool>,
+    /// Execute every computed mapping on the TDM scheduler simulator and
+    /// check the throughput guarantee.
+    pub simulate: Option<bool>,
+    /// The scenario is *expected* to contain infeasible points (for example
+    /// the two-phase false negative); they then do not fail the run.
+    pub expect_infeasible: Option<bool>,
+}
+
+impl Scenario {
+    /// A joint-flow scenario with default options and no sweep.
+    pub fn new(name: &str, workload: WorkloadSpec) -> Self {
+        Self {
+            name: name.to_string(),
+            workload,
+            sweep: None,
+            options: None,
+            flow: None,
+            derivative: None,
+            simulate: None,
+            expect_infeasible: None,
+        }
+    }
+
+    /// Adds a capacity sweep.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+
+    /// Overrides the solver options.
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Selects the flow.
+    #[must_use]
+    pub fn with_flow(mut self, flow: Flow) -> Self {
+        self.flow = Some(flow.as_str().to_string());
+        self
+    }
+
+    /// Requests the budget-reduction derivative series.
+    #[must_use]
+    pub fn with_derivative(mut self) -> Self {
+        self.derivative = Some(true);
+        self
+    }
+
+    /// Requests simulator validation of every point.
+    #[must_use]
+    pub fn with_simulation(mut self) -> Self {
+        self.simulate = Some(true);
+        self
+    }
+
+    /// Marks infeasible points as expected.
+    #[must_use]
+    pub fn expecting_infeasible(mut self) -> Self {
+        self.expect_infeasible = Some(true);
+        self
+    }
+
+    /// The parsed flow of the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an unknown flow name.
+    pub fn resolved_flow(&self) -> Result<Flow, EngineError> {
+        match &self.flow {
+            Some(name) => Flow::parse(name),
+            None => Ok(Flow::Joint),
+        }
+    }
+
+    /// The solver options of the scenario (the paper's budget-priority
+    /// weights when unset).
+    pub fn resolved_options(&self) -> SolveOptions {
+        self.options
+            .clone()
+            .unwrap_or_else(|| SolveOptions::default().prefer_budget_minimisation())
+    }
+
+    /// Checks everything that can be checked without solving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] found: empty name, unresolvable
+    /// workload, invalid sweep or unknown flow.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.name.is_empty() {
+            return Err(EngineError::InvalidScenario(
+                "scenario name must not be empty".to_string(),
+            ));
+        }
+        self.workload.resolve()?;
+        if let Some(sweep) = &self.sweep {
+            sweep.caps()?;
+        }
+        self.resolved_flow()?;
+        Ok(())
+    }
+}
+
+/// A named list of scenarios that runs as one batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    /// Name of the suite (reported in the run output).
+    pub name: String,
+    /// The scenarios, in execution/report order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Suite {
+    /// Creates a suite from a list of scenarios.
+    pub fn new(name: &str, scenarios: Vec<Scenario>) -> Self {
+        Self {
+            name: name.to_string(),
+            scenarios,
+        }
+    }
+
+    /// The structural half of [`Suite::validate`]: a non-empty,
+    /// duplicate-free list of non-empty scenario names. Needs no workload
+    /// resolution, so the executor can run it without building every
+    /// configuration twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] found.
+    pub fn validate_structure(&self) -> Result<(), EngineError> {
+        if self.scenarios.is_empty() {
+            return Err(EngineError::InvalidScenario(format!(
+                "suite `{}` has no scenarios",
+                self.name
+            )));
+        }
+        if self.scenarios.iter().any(|s| s.name.is_empty()) {
+            return Err(EngineError::InvalidScenario(format!(
+                "suite `{}` has a scenario with an empty name",
+                self.name
+            )));
+        }
+        let mut names: Vec<&str> = self.scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        for pair in names.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(EngineError::InvalidScenario(format!(
+                    "suite `{}` has two scenarios named `{}`",
+                    self.name, pair[0]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the suite fully: structure plus every scenario (including
+    /// workload resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] found.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        self.validate_structure()?;
+        for scenario in &self.scenarios {
+            scenario.validate().map_err(|e| {
+                EngineError::InvalidScenario(format!("scenario `{}`: {e}", scenario.name))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+
+    fn pc_scenario() -> Scenario {
+        Scenario::new(
+            "pc",
+            WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+        )
+        .with_sweep(SweepSpec::range(1, 4))
+    }
+
+    #[test]
+    fn workload_resolves_presets_and_inline() {
+        let from_preset = WorkloadSpec::preset(PresetSpec::named("producer-consumer"))
+            .resolve()
+            .unwrap();
+        let direct = producer_consumer(PaperParameters::default(), None);
+        assert_eq!(from_preset, direct);
+        let from_inline = WorkloadSpec::inline(direct.clone()).resolve().unwrap();
+        assert_eq!(from_inline, direct);
+    }
+
+    #[test]
+    fn workload_rejects_neither_and_both() {
+        let neither = WorkloadSpec {
+            preset: None,
+            inline: None,
+        };
+        assert!(neither.resolve().is_err());
+        let both = WorkloadSpec {
+            preset: Some(PresetSpec::named("producer-consumer")),
+            inline: Some(producer_consumer(PaperParameters::default(), None)),
+        };
+        assert!(both.resolve().is_err());
+    }
+
+    #[test]
+    fn sweep_expands_ranges_and_lists() {
+        assert_eq!(SweepSpec::range(1, 4).caps().unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            SweepSpec::list([1u64, 2, 4, 6]).caps().unwrap(),
+            vec![1, 2, 4, 6]
+        );
+        assert!(SweepSpec::range(4, 1).caps().is_err());
+        assert!(SweepSpec::list(Vec::<u64>::new()).caps().is_err());
+        assert!(SweepSpec::list([0u64]).caps().is_err());
+    }
+
+    #[test]
+    fn flow_parses_and_round_trips() {
+        for flow in [Flow::Joint, Flow::TwoPhaseMin, Flow::TwoPhaseFair] {
+            assert_eq!(Flow::parse(flow.as_str()).unwrap(), flow);
+        }
+        assert!(Flow::parse("simplex").is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = pc_scenario()
+            .with_flow(Flow::TwoPhaseMin)
+            .with_derivative()
+            .with_simulation();
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn suite_rejects_duplicates_and_empty() {
+        assert!(Suite::new("empty", Vec::new()).validate().is_err());
+        let twice = Suite::new("dup", vec![pc_scenario(), pc_scenario()]);
+        assert!(twice.validate().is_err());
+        let ok = Suite::new("ok", vec![pc_scenario()]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_defaults_are_joint_paper_options() {
+        let scenario = pc_scenario();
+        assert_eq!(scenario.resolved_flow().unwrap(), Flow::Joint);
+        let options = scenario.resolved_options();
+        assert!(options.storage_weight_scale < options.budget_weight_scale);
+    }
+}

@@ -1,0 +1,116 @@
+//! Determinism guarantees of the batch engine.
+//!
+//! The serialisable report must be a pure function of the suite definition:
+//! identical bytes across worker counts, cache settings and repeated runs.
+
+use bbs_engine::suites::smoke_suite;
+use bbs_engine::{
+    run_suite, CacheKey, RunSettings, Scenario, SolveCache, Suite, SuiteReport, SweepSpec,
+    WorkloadSpec,
+};
+use bbs_taskgraph::presets::PresetSpec;
+use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
+use proptest::prelude::*;
+
+fn report_json(suite: &Suite, settings: &RunSettings) -> String {
+    let outcome = run_suite(suite, settings).expect("suite runs");
+    SuiteReport::from_outcome(&outcome).to_json()
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let suite = smoke_suite();
+    let sequential = report_json(&suite, &RunSettings::with_jobs(1));
+    let parallel = report_json(&suite, &RunSettings::with_jobs(8));
+    assert_eq!(
+        sequential, parallel,
+        "JSON reports must not depend on --jobs"
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_repeated_runs() {
+    let suite = smoke_suite();
+    let settings = RunSettings::with_jobs(4);
+    assert_eq!(
+        report_json(&suite, &settings),
+        report_json(&suite, &settings)
+    );
+}
+
+#[test]
+fn reports_do_not_depend_on_the_cache() {
+    let suite = smoke_suite();
+    let cached = report_json(&suite, &RunSettings::default());
+    let uncached = report_json(
+        &suite,
+        &RunSettings {
+            use_cache: false,
+            ..RunSettings::default()
+        },
+    );
+    // The runs differ only in the cache section of the report.
+    let strip = |json: &str| {
+        json.lines()
+            .filter(|l| {
+                !l.contains("\"enabled\"") && !l.contains("\"hits\"") && !l.contains("\"misses\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&cached), strip(&uncached));
+}
+
+#[test]
+fn suite_with_expected_infeasible_points_is_still_deterministic() {
+    let suite = Suite::new(
+        "edge",
+        vec![Scenario::new(
+            "ring-tight",
+            WorkloadSpec::preset(
+                PresetSpec::named("ring")
+                    .with_tasks(3)
+                    .with_initial_tokens(2),
+            ),
+        )
+        .with_sweep(SweepSpec::range(1, 4))
+        .expecting_infeasible()],
+    );
+    let sequential = report_json(&suite, &RunSettings::with_jobs(1));
+    let parallel = report_json(&suite, &RunSettings::with_jobs(8));
+    assert_eq!(sequential, parallel);
+    let report = SuiteReport::from_json(&sequential).unwrap();
+    assert!(!report.scenarios[0].points[0].feasible);
+    assert!(report.scenarios[0].points[1].feasible);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // A cache hit must return a mapping equal to a fresh, uncached solve —
+    // over random capacity caps, weight trade-offs and chain lengths.
+    #[test]
+    fn cache_hit_equals_fresh_solve(
+        cap in 1u64..12,
+        tasks in 2usize..5,
+        storage_weight in 1e-3f64..1.0,
+    ) {
+        let spec = PresetSpec::named("chain").with_tasks(tasks);
+        let configuration = with_capacity_cap(&spec.build().unwrap(), cap);
+        let mut options = SolveOptions::default().prefer_budget_minimisation();
+        options.storage_weight_scale = storage_weight;
+
+        let cache = SolveCache::new();
+        let key = CacheKey::new(&configuration, &options, "joint");
+        let (first, hit_first) =
+            cache.solve_with(key.clone(), || compute_mapping(&configuration, &options));
+        let (hit_result, hit_second) =
+            cache.solve_with(key, || panic!("second lookup must not solve"));
+        let fresh = compute_mapping(&configuration, &options);
+
+        prop_assert!(!hit_first);
+        prop_assert!(hit_second);
+        prop_assert_eq!(first.clone().unwrap(), hit_result.unwrap());
+        prop_assert_eq!(first.unwrap(), fresh.unwrap());
+    }
+}

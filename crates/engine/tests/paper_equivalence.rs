@@ -1,0 +1,178 @@
+//! The engine reproduces the paper's experiments exactly.
+//!
+//! Every scenario of the built-in `paper` suite must produce results
+//! identical to driving the core library directly (the old `figures` code
+//! path): same mappings for the sweeps, same flows for the ablation, same
+//! simulator verdicts for the validation. The heavyweight `runtime-16/24`
+//! scenarios are exercised in release builds by CI (`bbs run --suite
+//! paper`); here we cover the cheap ones.
+
+use bbs_engine::suites::{
+    ablation_scenarios, fig2a_scenario, fig2b_scenario, fig3_scenario, ring_scenario,
+    validate_scenario,
+};
+use bbs_engine::{run_scenario, run_suite, RunSettings, Suite, SuiteReport};
+use bbs_taskgraph::presets::{chain3, producer_consumer, PaperParameters};
+use budget_buffer::{
+    compute_mapping, compute_mapping_two_phase, sweep_buffer_capacity, with_capacity_cap,
+    BudgetPolicy, SolveOptions,
+};
+
+fn paper_options() -> SolveOptions {
+    SolveOptions::default().prefer_budget_minimisation()
+}
+
+#[test]
+fn fig2a_and_fig2b_match_the_direct_sweep() {
+    let suite = Suite::new("f2", vec![fig2a_scenario(), fig2b_scenario()]);
+    let outcome = run_suite(&suite, &RunSettings::with_jobs(4)).unwrap();
+    let direct = sweep_buffer_capacity(
+        &producer_consumer(PaperParameters::default(), None),
+        1..=10,
+        &paper_options(),
+    )
+    .unwrap();
+    for scenario in &outcome.scenarios {
+        assert_eq!(scenario.points.len(), 10);
+        for (point, reference) in scenario.points.iter().zip(&direct) {
+            assert_eq!(point.capacity_cap, Some(reference.capacity_cap));
+            assert_eq!(point.result.as_ref().unwrap(), &reference.mapping);
+        }
+    }
+    // fig2b re-solves nothing and reports the derivative series.
+    assert!(outcome.scenarios[1].points.iter().all(|p| p.cache_hit));
+    let report = SuiteReport::from_outcome(&outcome);
+    let deltas = report.scenarios[1].budget_reduction.as_ref().unwrap();
+    assert_eq!(deltas.len(), 9);
+    let caps: Vec<u64> = deltas.iter().map(|&(cap, _)| cap).collect();
+    assert_eq!(caps, (2..=10).collect::<Vec<u64>>());
+    assert_eq!(
+        deltas.iter().map(|&(_, d)| d).sum::<f64>(),
+        (direct[0].mapping.total_budget() - direct[9].mapping.total_budget()) as f64
+    );
+}
+
+#[test]
+fn fig3_matches_the_direct_chain_sweep() {
+    let outcome = run_scenario(&fig3_scenario(), &RunSettings::default()).unwrap();
+    let direct = sweep_buffer_capacity(
+        &chain3(PaperParameters::default(), None),
+        1..=10,
+        &paper_options(),
+    )
+    .unwrap();
+    for (point, reference) in outcome.points.iter().zip(&direct) {
+        assert_eq!(point.result.as_ref().unwrap(), &reference.mapping);
+    }
+}
+
+#[test]
+fn ablation_matches_the_direct_flows() {
+    let suite = Suite::new("ablation", ablation_scenarios());
+    let outcome = run_suite(&suite, &RunSettings::with_jobs(2)).unwrap();
+    let by_name = |name: &str| {
+        outcome
+            .scenarios
+            .iter()
+            .find(|s| s.scenario.name == name)
+            .unwrap_or_else(|| panic!("scenario {name} missing"))
+    };
+    let pc = producer_consumer(PaperParameters::default(), None);
+    let capped = with_capacity_cap(&pc, 3);
+
+    let joint = compute_mapping(&pc, &paper_options()).unwrap();
+    assert_eq!(
+        by_name("ablation-joint-ipm").points[0]
+            .result
+            .as_ref()
+            .unwrap(),
+        &joint
+    );
+
+    let cutting = compute_mapping(&pc, &paper_options().with_cutting_plane()).unwrap();
+    assert_eq!(
+        by_name("ablation-joint-cp").points[0]
+            .result
+            .as_ref()
+            .unwrap(),
+        &cutting
+    );
+
+    let two_phase_min =
+        compute_mapping_two_phase(&pc, BudgetPolicy::ThroughputMinimum, &paper_options()).unwrap();
+    assert_eq!(
+        by_name("ablation-two-phase-min").points[0]
+            .result
+            .as_ref()
+            .unwrap(),
+        &two_phase_min.mapping
+    );
+
+    let two_phase_fair =
+        compute_mapping_two_phase(&pc, BudgetPolicy::FairShare, &paper_options()).unwrap();
+    assert_eq!(
+        by_name("ablation-two-phase-fair").points[0]
+            .result
+            .as_ref()
+            .unwrap(),
+        &two_phase_fair.mapping
+    );
+
+    let joint_capped = compute_mapping(&capped, &paper_options()).unwrap();
+    assert_eq!(
+        by_name("ablation-joint-cap3").points[0]
+            .result
+            .as_ref()
+            .unwrap(),
+        &joint_capped
+    );
+
+    // The paper's false negative: the minimum-budget two-phase flow cannot
+    // size the capped buffer, while the joint flow above adapts.
+    let false_negative = by_name("ablation-two-phase-min-cap3");
+    assert!(false_negative.points[0].result.is_err());
+    assert!(
+        compute_mapping_two_phase(&capped, BudgetPolicy::ThroughputMinimum, &paper_options())
+            .is_err()
+    );
+    assert!(outcome.unexpected_failures().is_empty());
+}
+
+#[test]
+fn validate_scenario_meets_the_guarantee_on_every_point() {
+    let outcome = run_scenario(&validate_scenario(), &RunSettings::default()).unwrap();
+    assert_eq!(outcome.points.len(), 6);
+    for point in &outcome.points {
+        let check = point.simulation.as_ref().expect("simulation requested");
+        assert!(
+            check.guarantee_ok,
+            "guarantee violated at cap {:?}: measured {} > required {} + {}",
+            point.capacity_cap, check.measured_period, check.required_period, check.tolerance
+        );
+    }
+    // The loosest mapping (cap 10, minimum budgets) runs closest to the
+    // requirement; everything must still be within the transient tolerance.
+    let last = outcome.points.last().unwrap();
+    let check = last.simulation.as_ref().unwrap();
+    assert!(check.measured_period > 1.0 && check.measured_period.is_finite());
+}
+
+#[test]
+fn ring_experiment_shows_capacity_insensitive_budgets() {
+    let outcome = run_scenario(&ring_scenario(), &RunSettings::default()).unwrap();
+    assert_eq!(outcome.points.len(), 9, "caps 2..=10");
+    let totals: Vec<u64> = outcome
+        .points
+        .iter()
+        .map(|p| p.result.as_ref().unwrap().total_budget())
+        .collect();
+    // In a ring the cycle's token count — not the buffer capacity — bounds
+    // throughput, so the budget curve is flat where a chain's would fall.
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "ring budgets must not depend on the capacity cap: {totals:?}"
+    );
+    // And the feedback token bound keeps budgets strictly above the
+    // producer/consumer floor (2 tasks x 4 cycles).
+    assert!(totals[0] > 8);
+}

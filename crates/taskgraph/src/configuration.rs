@@ -252,6 +252,42 @@ impl Configuration {
     }
 }
 
+impl Configuration {
+    /// The canonical JSON form of the configuration: the compact
+    /// serialisation of the full model. Field order is fixed by the struct
+    /// definitions and every map in the model is ordered, so two equal
+    /// configurations always produce the same bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration contains a non-finite float (such values
+    /// never pass [`Configuration::validate`]).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("configuration serialises to JSON")
+    }
+
+    /// A 64-bit FNV-1a fingerprint of [`Configuration::canonical_json`].
+    ///
+    /// Used as a memoization key by the batch-solving engine: two
+    /// configurations with equal fingerprints are, for all practical
+    /// purposes, the same problem instance.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a over a byte string — the hash behind
+/// [`Configuration::canonical_fingerprint`], exported so callers hashing a
+/// canonical JSON they already hold do not have to serialise twice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 impl Default for Configuration {
     fn default() -> Self {
         Self::new()
@@ -393,5 +429,24 @@ mod tests {
         let c = simple_configuration();
         let json = serde_json::to_string(&c).unwrap();
         assert_eq!(serde_json::from_str::<Configuration>(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn canonical_fingerprint_distinguishes_configurations() {
+        let a = simple_configuration();
+        let b = simple_configuration();
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        let mut c = simple_configuration();
+        c.set_budget_granularity(2);
+        assert_ne!(a.canonical_fingerprint(), c.canonical_fingerprint());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 }

@@ -43,7 +43,7 @@ pub use buffer::Buffer;
 pub use builder::{
     find_buffer, find_task, find_task_graph, ConfigurationBuilder, TaskGraphBuilder,
 };
-pub use configuration::Configuration;
+pub use configuration::{fnv1a, Configuration};
 pub use error::ModelError;
 pub use graph::TaskGraph;
 pub use ids::{BufferId, BufferRef, MemoryId, ProcessorId, TaskGraphId, TaskId, TaskRef};

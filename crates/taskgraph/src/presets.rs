@@ -5,10 +5,11 @@ use crate::builder::ConfigurationBuilder;
 use crate::configuration::Configuration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Parameters shared by the paper's two experiments: 40 Mcycle replenishment
 /// intervals, 1 Mcycle worst-case execution times and a 10 Mcycle period.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PaperParameters {
     /// Replenishment interval `̺(p)` of every processor, in cycles.
     pub replenishment_interval: f64,
@@ -148,7 +149,7 @@ pub fn ring(
 
 /// Parameters of the random workload generator used by the scaling
 /// experiments (E4 in DESIGN.md).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomWorkload {
     /// Number of tasks.
     pub num_tasks: usize,
@@ -233,6 +234,167 @@ pub fn random_dag(params: &RandomWorkload) -> Configuration {
         }
     }
     builder.build().expect("random DAG preset is valid")
+}
+
+/// A declarative, serialisable reference to one of the preset generators:
+/// the "workload by name" half of a scenario file.
+///
+/// Unset fields fall back to the preset's defaults, so
+/// `{"preset": "producer-consumer"}` is a complete spec. Known preset names
+/// are `producer-consumer`, `chain3`, `chain`, `ring` and `random-dag`.
+/// Fields that do not apply to the chosen preset (for example `tasks` on
+/// `chain3`, or `initial_tokens` on anything but `ring`) are *rejected*, not
+/// ignored — a misplaced parameter in a scenario file must fail loudly
+/// rather than silently measure a different workload than declared.
+///
+/// # Example
+///
+/// ```
+/// use bbs_taskgraph::presets::PresetSpec;
+/// let spec = PresetSpec::named("ring").with_tasks(3).with_initial_tokens(2);
+/// let configuration = spec.build().unwrap();
+/// assert_eq!(configuration.num_tasks(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetSpec {
+    /// Preset name: `producer-consumer`, `chain3`, `chain`, `ring` or
+    /// `random-dag`.
+    pub preset: String,
+    /// Paper parameters (replenishment interval, WCET, period); defaults to
+    /// [`PaperParameters::default`]. Rejected by `random-dag` (use `random`).
+    pub params: Option<PaperParameters>,
+    /// Number of tasks for `chain` and `ring`; rejected elsewhere.
+    pub tasks: Option<usize>,
+    /// Initially filled containers closing a `ring` (default 1); rejected
+    /// elsewhere.
+    pub initial_tokens: Option<u64>,
+    /// Per-buffer capacity cap applied at construction time. Rejected by
+    /// `random-dag` (its buffers are uncapped; sweeps cap them per point).
+    pub max_buffer_capacity: Option<u64>,
+    /// Generator parameters for `random-dag`; defaults to
+    /// [`RandomWorkload::default`].
+    pub random: Option<RandomWorkload>,
+}
+
+impl PresetSpec {
+    /// A spec selecting `preset` with every parameter at its default.
+    pub fn named(preset: &str) -> Self {
+        Self {
+            preset: preset.to_string(),
+            params: None,
+            tasks: None,
+            initial_tokens: None,
+            max_buffer_capacity: None,
+            random: None,
+        }
+    }
+
+    /// Sets the task count (for `chain` / `ring`).
+    #[must_use]
+    pub fn with_tasks(mut self, tasks: usize) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+
+    /// Sets the initial token count (for `ring`).
+    #[must_use]
+    pub fn with_initial_tokens(mut self, tokens: u64) -> Self {
+        self.initial_tokens = Some(tokens);
+        self
+    }
+
+    /// Sets the construction-time buffer capacity cap.
+    #[must_use]
+    pub fn with_max_buffer_capacity(mut self, cap: u64) -> Self {
+        self.max_buffer_capacity = Some(cap);
+        self
+    }
+
+    /// Sets the random-DAG generator parameters (for `random-dag`).
+    #[must_use]
+    pub fn with_random(mut self, random: RandomWorkload) -> Self {
+        self.random = Some(random);
+        self
+    }
+
+    /// Builds the configuration the spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown preset name, a field
+    /// the chosen preset does not take, or a parameter combination the
+    /// preset rejects (for example a ring with zero initial tokens).
+    pub fn build(&self) -> Result<Configuration, String> {
+        let reject_inapplicable = |field: &str, set: bool| {
+            if set {
+                Err(format!(
+                    "preset `{}` does not take the `{field}` field",
+                    self.preset
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match self.preset.as_str() {
+            "producer-consumer" | "chain3" => {
+                reject_inapplicable("tasks", self.tasks.is_some())?;
+                reject_inapplicable("initial_tokens", self.initial_tokens.is_some())?;
+                reject_inapplicable("random", self.random.is_some())?;
+            }
+            "chain" => {
+                reject_inapplicable("initial_tokens", self.initial_tokens.is_some())?;
+                reject_inapplicable("random", self.random.is_some())?;
+            }
+            "ring" => reject_inapplicable("random", self.random.is_some())?,
+            "random-dag" => {
+                reject_inapplicable("params", self.params.is_some())?;
+                reject_inapplicable("tasks", self.tasks.is_some())?;
+                reject_inapplicable("initial_tokens", self.initial_tokens.is_some())?;
+                reject_inapplicable("max_buffer_capacity", self.max_buffer_capacity.is_some())?;
+            }
+            _ => {}
+        }
+        let params = self.params.unwrap_or_default();
+        let configuration = match self.preset.as_str() {
+            "producer-consumer" => producer_consumer(params, self.max_buffer_capacity),
+            "chain3" => chain3(params, self.max_buffer_capacity),
+            "chain" => {
+                let n = self.tasks.unwrap_or(3);
+                if n < 2 {
+                    return Err(format!("preset `chain` needs at least 2 tasks, got {n}"));
+                }
+                chain(n, params, self.max_buffer_capacity)
+            }
+            "ring" => {
+                let n = self.tasks.unwrap_or(3);
+                if n < 2 {
+                    return Err(format!("preset `ring` needs at least 2 tasks, got {n}"));
+                }
+                let tokens = self.initial_tokens.unwrap_or(1);
+                if tokens == 0 {
+                    return Err("preset `ring` needs at least 1 initial token".to_string());
+                }
+                ring(n, params, tokens, self.max_buffer_capacity)
+            }
+            "random-dag" => {
+                let random = self.random.clone().unwrap_or_default();
+                if random.num_tasks < 2 || random.num_processors == 0 {
+                    return Err(format!(
+                        "preset `random-dag` needs >= 2 tasks and >= 1 processor, got {} and {}",
+                        random.num_tasks, random.num_processors
+                    ));
+                }
+                random_dag(&random)
+            }
+            other => {
+                return Err(format!(
+                    "unknown preset `{other}`; known: producer-consumer, chain3, chain, ring, \
+                     random-dag"
+                ))
+            }
+        };
+        Ok(configuration)
+    }
 }
 
 fn task_name(i: usize) -> String {
@@ -357,6 +519,90 @@ mod tests {
             ..RandomWorkload::default()
         });
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn preset_spec_builds_every_preset_by_name() {
+        for (name, expected_tasks) in [
+            ("producer-consumer", 2),
+            ("chain3", 3),
+            ("chain", 3),
+            ("ring", 3),
+            ("random-dag", 8),
+        ] {
+            let c = PresetSpec::named(name).build().unwrap();
+            assert_eq!(c.num_tasks(), expected_tasks, "preset {name}");
+            assert!(c.validate().is_ok(), "preset {name}");
+        }
+    }
+
+    #[test]
+    fn preset_spec_matches_direct_construction() {
+        let via_spec = PresetSpec::named("producer-consumer")
+            .with_max_buffer_capacity(4)
+            .build()
+            .unwrap();
+        assert_eq!(
+            via_spec,
+            producer_consumer(PaperParameters::default(), Some(4))
+        );
+        let via_spec = PresetSpec::named("ring")
+            .with_tasks(4)
+            .with_initial_tokens(2)
+            .build()
+            .unwrap();
+        assert_eq!(via_spec, ring(4, PaperParameters::default(), 2, None));
+    }
+
+    #[test]
+    fn preset_spec_rejects_bad_input() {
+        assert!(PresetSpec::named("no-such-preset").build().is_err());
+        assert!(PresetSpec::named("chain").with_tasks(1).build().is_err());
+        let mut spec = PresetSpec::named("ring");
+        spec.initial_tokens = Some(0);
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn preset_spec_rejects_inapplicable_fields() {
+        // A misplaced field must fail loudly, not silently build a
+        // different workload than the spec declares.
+        let error = PresetSpec::named("chain3")
+            .with_tasks(9)
+            .build()
+            .unwrap_err();
+        assert!(error.contains("does not take"), "{error}");
+        assert!(PresetSpec::named("producer-consumer")
+            .with_initial_tokens(2)
+            .build()
+            .is_err());
+        assert!(PresetSpec::named("chain")
+            .with_tasks(4)
+            .with_initial_tokens(1)
+            .build()
+            .is_err());
+        assert!(PresetSpec::named("random-dag")
+            .with_max_buffer_capacity(4)
+            .build()
+            .is_err());
+        let mut with_params = PresetSpec::named("random-dag");
+        with_params.params = Some(PaperParameters::default());
+        assert!(with_params.build().is_err());
+        assert!(PresetSpec::named("ring")
+            .with_random(RandomWorkload::default())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn preset_spec_round_trips_through_json() {
+        let spec = PresetSpec::named("ring")
+            .with_tasks(5)
+            .with_initial_tokens(3);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PresetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.build().unwrap(), spec.build().unwrap());
     }
 
     #[test]

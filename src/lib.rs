@@ -13,8 +13,10 @@
 //! * [`bbs_conic`] — LP/SOCP interior-point solver.
 //! * [`bbs_linalg`] — dense linear algebra kernels.
 //! * [`bbs_scheduler_sim`] — TDM budget-scheduler simulator.
+//! * [`bbs_engine`] — batch-solving engine (scenarios, executor, cache, `bbs` CLI).
 
 pub use bbs_conic as conic;
+pub use bbs_engine as engine;
 pub use bbs_linalg as linalg;
 pub use bbs_scheduler_sim as scheduler_sim;
 pub use bbs_srdf as srdf;

@@ -6,11 +6,51 @@
 //! `finish`, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros (`harness = false` targets).
 //!
-//! Timing is a simple mean over wall-clock samples — adequate for spotting
-//! order-of-magnitude regressions, with none of real criterion's statistics.
+//! Every benchmark runs a fixed warm-up pass first, then times each sample
+//! individually and reports mean, median and standard deviation over the
+//! samples — enough statistics to tell noise from a real regression, with
+//! none of real criterion's outlier classification or HTML reports.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Warm-up iterations executed (and discarded) before the timed samples,
+/// so cold caches and lazy initialisation do not pollute the first sample.
+const WARM_UP_ITERATIONS: usize = 3;
+
+/// Summary statistics over the timed samples of one benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleStats {
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Median (the midpoint average for even sample counts).
+    pub median: Duration,
+    /// Population standard deviation of the samples.
+    pub std_dev: Duration,
+}
+
+impl SampleStats {
+    /// Computes the statistics of a non-empty set of samples.
+    fn from_samples(samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "no samples recorded");
+        let seconds: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        let n = seconds.len() as f64;
+        let mean = seconds.iter().sum::<f64>() / n;
+        let variance = seconds.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = seconds;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Self {
+            mean: Duration::from_secs_f64(mean),
+            median: Duration::from_secs_f64(median),
+            std_dev: Duration::from_secs_f64(variance.sqrt()),
+        }
+    }
+}
 
 pub use std::hint::black_box;
 
@@ -45,18 +85,24 @@ impl fmt::Display for BenchmarkId {
 /// Drives the closure under measurement.
 pub struct Bencher {
     sample_size: usize,
-    mean: Duration,
+    stats: SampleStats,
 }
 
 impl Bencher {
-    /// Times `routine`, first warming up, then averaging over samples.
+    /// Runs the fixed warm-up pass, then times `routine` once per sample
+    /// and records mean/median/standard deviation.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.sample_size {
+        for _ in 0..WARM_UP_ITERATIONS {
             black_box(routine());
         }
-        self.mean = start.elapsed() / self.sample_size as u32;
+        let samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        self.stats = SampleStats::from_samples(&samples);
     }
 }
 
@@ -135,12 +181,14 @@ impl BenchmarkGroup<'_> {
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
     let mut bencher = Bencher {
         sample_size,
-        mean: Duration::ZERO,
+        stats: SampleStats::default(),
     };
     f(&mut bencher);
+    let stats = bencher.stats;
     println!(
-        "bench {id:<50} mean {:>12.3?} ({sample_size} samples)",
-        bencher.mean
+        "bench {id:<50} mean {:>12.3?} median {:>12.3?} stddev {:>12.3?} \
+         ({sample_size} samples, {WARM_UP_ITERATIONS} warm-up)",
+        stats.mean, stats.median, stats.std_dev
     );
 }
 
@@ -163,4 +211,47 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_micros(v)).collect()
+    }
+
+    #[test]
+    fn stats_of_constant_samples_have_zero_spread() {
+        let stats = SampleStats::from_samples(&micros(&[5, 5, 5, 5]));
+        assert_eq!(stats.mean, Duration::from_micros(5));
+        assert_eq!(stats.median, Duration::from_micros(5));
+        assert_eq!(stats.std_dev, Duration::ZERO);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // One large outlier drags the mean but not the median.
+        let stats = SampleStats::from_samples(&micros(&[10, 10, 10, 10, 1000]));
+        assert!(stats.mean > Duration::from_micros(200));
+        assert_eq!(stats.median, Duration::from_micros(10));
+        assert!(stats.std_dev > Duration::from_micros(300));
+    }
+
+    #[test]
+    fn even_sample_counts_average_the_midpoints() {
+        let stats = SampleStats::from_samples(&micros(&[10, 20, 30, 40]));
+        assert_eq!(stats.median, Duration::from_micros(25));
+        assert_eq!(stats.mean, Duration::from_micros(25));
+    }
+
+    #[test]
+    fn bencher_records_statistics() {
+        let mut bencher = Bencher {
+            sample_size: 8,
+            stats: SampleStats::default(),
+        };
+        bencher.iter(|| std::hint::black_box(1 + 1));
+        assert!(bencher.stats.mean > Duration::ZERO || bencher.stats.median >= Duration::ZERO);
+    }
 }
