@@ -4,13 +4,15 @@
 //! The bench measures the time of one joint budget/buffer solve per buffer
 //! capacity (the paper reports "milliseconds" with CPLEX) and of the full
 //! ten-point sweep driven through the batch engine — once per-run (cold
-//! cache) and once against a shared warm cache, to keep the memoization
-//! speed-up honest. The data series themselves are printed by
+//! cache), once against a shared warm in-memory cache, and once against a
+//! warm *disk* store with a fresh in-memory cache per run (the `bbs
+//! --cache-dir` re-invocation path), to keep both memoization speed-ups
+//! honest. The data series themselves are printed by
 //! `cargo run -p bbs-bench --bin figures -- fig2a` / `fig2b`.
 
 use bbs_bench::{fig2_configuration, paper_options};
 use bbs_engine::suites::fig2a_scenario;
-use bbs_engine::{run_suite_with_cache, RunSettings, SolveCache, Suite};
+use bbs_engine::{run_suite_with_cache, RunSettings, SolveCache, SolveStore, Suite};
 use budget_buffer::{compute_mapping, with_capacity_cap};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -42,6 +44,20 @@ fn bench_full_sweep(c: &mut Criterion) {
     group.bench_function("engine_warm_cache", |b| {
         let cache = SolveCache::new();
         b.iter(|| run_suite_with_cache(black_box(&suite), &settings, &cache).unwrap());
+    });
+    group.bench_function("engine_warm_disk_store", |b| {
+        let directory =
+            std::env::temp_dir().join(format!("bbs-bench-disk-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&directory);
+        // Populate once; every iteration then simulates a fresh process
+        // (empty in-memory tier) answering the sweep from disk.
+        let warm = SolveCache::with_store(SolveStore::open(&directory).unwrap());
+        run_suite_with_cache(&suite, &settings, &warm).unwrap();
+        b.iter(|| {
+            let cache = SolveCache::with_store(SolveStore::open(&directory).unwrap());
+            run_suite_with_cache(black_box(&suite), &settings, &cache).unwrap()
+        });
+        let _ = std::fs::remove_dir_all(&directory);
     });
     group.finish();
 }

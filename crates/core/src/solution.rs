@@ -8,7 +8,7 @@ use std::fmt;
 /// granularity) and one capacity per buffer (in containers), together with
 /// the raw solver values they were rounded from.
 ///
-/// Use [`crate::report::mapping_to_json`] for a serialisable view keyed by
+/// Use [`crate::report::mapping_report`] for a serialisable view keyed by
 /// task and buffer names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {

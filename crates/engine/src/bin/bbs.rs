@@ -2,31 +2,44 @@
 //!
 //! ```text
 //! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
-//!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+//!         [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
+//!         [--quiet]
 //! bbs list
 //! bbs check REPORT.json
+//! bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
+//!           [--cache-dir DIR]
 //! ```
 //!
 //! `run` executes a built-in suite (default: `paper`) or a suite file,
 //! prints the result tables plus a timing summary, and optionally writes the
 //! machine-readable report as JSON/CSV/markdown (`-` writes to stdout).
-//! `check` parses and schema-validates a report produced by `run`. The exit
-//! code is non-zero when anything failed, including scenarios with
+//! With `--cache-dir` (or the `BBS_CACHE_DIR` environment variable) solves
+//! are also persisted to a content-addressed on-disk store, so later
+//! invocations skip them entirely; `bbs cache` inspects and manages that
+//! store. `check` parses and schema-validates a report produced by `run`.
+//! The exit code is non-zero when anything failed, including scenarios with
 //! unexpectedly infeasible points.
 
 use bbs_engine::report::render_timing_summary;
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
-use bbs_engine::{run_suite, RunSettings, Suite, SuiteReport};
+use bbs_engine::{
+    run_suite_with_cache, GcPolicy, RunSettings, SolveCache, SolveStore, Suite, SuiteReport,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
   bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
-          [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+          [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
+          [--quiet]
   bbs list
   bbs check REPORT.json
+  bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
+            [--cache-dir DIR]
 
-`--json`/`--csv`/`--markdown` accept `-` for stdout.";
+`--json`/`--csv`/`--markdown` accept `-` for stdout. `--cache-dir` (or the
+BBS_CACHE_DIR environment variable) persists solve results across runs.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +47,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("list") => list(),
         Some("check") => check(&args[1..]),
+        Some("cache") => cache(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             Ok(())
@@ -55,6 +69,7 @@ struct RunArgs {
     file: Option<String>,
     jobs: usize,
     use_cache: bool,
+    cache_dir: Option<String>,
     json: Option<String>,
     csv: Option<String>,
     markdown: Option<String>,
@@ -67,6 +82,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         file: None,
         jobs: 1,
         use_cache: true,
+        cache_dir: None,
         json: None,
         csv: None,
         markdown: None,
@@ -91,6 +107,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
             }
             "--no-cache" => parsed.use_cache = false,
+            "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
             "--json" => parsed.json = Some(value("--json")?),
             "--csv" => parsed.csv = Some(value("--csv")?),
             "--markdown" => parsed.markdown = Some(value("--markdown")?),
@@ -129,6 +146,29 @@ fn write_output(path: &str, contents: &str, label: &str) -> Result<(), String> {
     }
 }
 
+/// Rejects an empty `--cache-dir` (e.g. an unset shell variable), which
+/// would otherwise root the store in the current working directory.
+fn non_empty_dir(dir: String) -> Result<String, String> {
+    if dir.is_empty() {
+        Err("--cache-dir needs a non-empty path".to_string())
+    } else {
+        Ok(dir)
+    }
+}
+
+/// The cache directory in effect: the flag wins over `BBS_CACHE_DIR`.
+fn effective_cache_dir(flag: Option<&str>) -> Option<String> {
+    flag.map(str::to_string).or_else(|| {
+        std::env::var("BBS_CACHE_DIR")
+            .ok()
+            .filter(|dir| !dir.is_empty())
+    })
+}
+
+fn open_store(dir: &str) -> Result<SolveStore, String> {
+    SolveStore::open(dir).map_err(|e| format!("cannot open cache directory {dir}: {e}"))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let args = parse_run_args(args)?;
     let suite = load_suite(&args)?;
@@ -137,7 +177,13 @@ fn run(args: &[String]) -> Result<(), String> {
         use_cache: args.use_cache,
         ..RunSettings::default()
     };
-    let outcome = run_suite(&suite, &settings).map_err(|e| e.to_string())?;
+    // `--no-cache` bypasses both tiers: without the in-memory tier there is
+    // no deterministic once-per-key funnel to hang the disk tier off.
+    let cache = match effective_cache_dir(args.cache_dir.as_deref()) {
+        Some(dir) if args.use_cache => SolveCache::with_store(open_store(&dir)?),
+        _ => SolveCache::new(),
+    };
+    let outcome = run_suite_with_cache(&suite, &settings, &cache).map_err(|e| e.to_string())?;
     let report = SuiteReport::from_outcome(&outcome);
     report.validate().map_err(|e| e.to_string())?;
 
@@ -204,5 +250,113 @@ fn check(args: &[String]) -> Result<(), String> {
         report.suite,
         report.scenarios.len()
     );
+    Ok(())
+}
+
+struct CacheArgs {
+    action: String,
+    cache_dir: Option<String>,
+    max_entries: Option<u64>,
+    max_age: Option<Duration>,
+}
+
+fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
+    let [action, flags @ ..] = args else {
+        return Err(format!("`cache` needs an action\n{USAGE}"));
+    };
+    if !matches!(action.as_str(), "stats" | "clear" | "gc") {
+        return Err(format!(
+            "unknown cache action `{action}`; known: stats, clear, gc\n{USAGE}"
+        ));
+    }
+    let mut parsed = CacheArgs {
+        action: action.clone(),
+        cache_dir: None,
+        max_entries: None,
+        max_age: None,
+    };
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
+            "--max-entries" if action == "gc" => {
+                let raw = value("--max-entries")?;
+                parsed.max_entries = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("--max-entries must be a count, got `{raw}`"))?,
+                );
+            }
+            "--max-age" if action == "gc" => {
+                let raw = value("--max-age")?;
+                let seconds = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--max-age must be a number of seconds, got `{raw}`"))?;
+                parsed.max_age = Some(Duration::from_secs(seconds));
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` for `cache {action}`\n{USAGE}"
+                ))
+            }
+        }
+    }
+    if action == "gc" && parsed.max_entries.is_none() && parsed.max_age.is_none() {
+        return Err("`cache gc` needs --max-entries and/or --max-age".to_string());
+    }
+    Ok(parsed)
+}
+
+fn cache(args: &[String]) -> Result<(), String> {
+    let args = parse_cache_args(args)?;
+    let dir = effective_cache_dir(args.cache_dir.as_deref())
+        .ok_or("no cache directory: pass --cache-dir or set BBS_CACHE_DIR")?;
+    // Unlike `run` (which creates the directory to populate it), the
+    // management commands refuse to conjure one up — a typo'd path should
+    // error, not materialise an empty store tree.
+    let store = SolveStore::open_existing(&dir)
+        .map_err(|_| format!("cache directory {dir} does not exist"))?;
+    match args.action.as_str() {
+        "stats" => {
+            let summary = store
+                .summary()
+                .map_err(|e| format!("cannot scan {dir}: {e}"))?;
+            println!("cache directory {dir}:");
+            println!(
+                "  {} entries ({} feasible, {} infeasible), {} bytes",
+                summary.entries, summary.feasible, summary.infeasible, summary.total_bytes
+            );
+            if summary.corrupt > 0 {
+                println!(
+                    "  {} corrupt or foreign-version files (ignored by lookups; `bbs cache gc` \
+                     or `clear` removes them)",
+                    summary.corrupt
+                );
+            }
+        }
+        "clear" => {
+            let removed = store
+                .clear()
+                .map_err(|e| format!("cannot clear {dir}: {e}"))?;
+            println!("cache directory {dir}: removed {removed} entries");
+        }
+        "gc" => {
+            let outcome = store
+                .gc(GcPolicy {
+                    max_entries: args.max_entries,
+                    max_age: args.max_age,
+                })
+                .map_err(|e| format!("cannot gc {dir}: {e}"))?;
+            println!(
+                "cache directory {dir}: removed {} entries, kept {}",
+                outcome.removed, outcome.kept
+            );
+        }
+        _ => unreachable!("validated by parse_cache_args"),
+    }
     Ok(())
 }

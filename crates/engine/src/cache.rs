@@ -12,7 +12,15 @@
 //! are therefore deterministic — misses equal the number of distinct keys,
 //! regardless of worker count or scheduling — which keeps reports
 //! byte-identical across `--jobs` settings.
+//!
+//! A cache built with [`SolveCache::with_store`] additionally reads through
+//! to a persistent [`SolveStore`] on every in-memory miss and writes every
+//! fresh, persistable result back, so repeated *processes* skip solves too.
+//! Because only the slot claimer touches the disk tier, the store's
+//! counters inherit the same determinism: exactly one disk lookup per
+//! distinct key, regardless of `--jobs`.
 
+use crate::store::SolveStore;
 use bbs_conic::ConicError;
 use bbs_taskgraph::Configuration;
 use budget_buffer::{Mapping, MappingError, SolveOptions};
@@ -52,14 +60,40 @@ impl CacheKey {
     }
 }
 
-/// Hit/miss counters of a [`SolveCache`].
+/// Hit/miss counters of a [`SolveCache`]'s in-memory tier.
+///
+/// Both counters are functions of the suite definition alone — misses equal
+/// the number of distinct keys — so they are safe to embed in the
+/// deterministic [`SuiteReport`](crate::SuiteReport). Disk-tier counters
+/// (which depend on what previous runs left behind) live in
+/// [`StoreStats`](crate::StoreStats) instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache (including waits on in-flight
     /// solves).
     pub hits: u64,
-    /// Lookups that had to solve.
+    /// Lookups that had to go below the in-memory tier (a disk hit or a
+    /// fresh solve).
     pub misses: u64,
+}
+
+/// Where one solve result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveSource {
+    /// Computed by the solver in this run (or the cache was bypassed).
+    Fresh,
+    /// Answered by the in-memory tier (including waits on another worker's
+    /// in-flight solve of the same key).
+    Memory,
+    /// Answered by the persistent [`SolveStore`] tier.
+    Disk,
+}
+
+impl SolveSource {
+    /// Whether the result was served by either cache tier.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, SolveSource::Fresh)
+    }
 }
 
 /// One memoization slot: filled exactly once, awaited by later lookups.
@@ -77,42 +111,107 @@ impl Slot {
     }
 }
 
-/// A thread-safe memoization table for joint solves.
+/// A thread-safe memoization table for joint solves, optionally layered on
+/// a persistent [`SolveStore`].
+///
+/// # Example
+///
+/// ```
+/// use bbs_engine::{CacheKey, SolveCache, SolveSource};
+/// use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+/// use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
+///
+/// let configuration =
+///     with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+/// let options = SolveOptions::default().prefer_budget_minimisation();
+/// let cache = SolveCache::new();
+/// let key = CacheKey::new(&configuration, &options, "joint");
+///
+/// let (first, source) = cache.solve_with(key.clone(), &configuration, || {
+///     compute_mapping(&configuration, &options)
+/// });
+/// assert_eq!(source, SolveSource::Fresh);
+///
+/// // The second lookup never invokes the closure.
+/// let (second, source) = cache.solve_with(key, &configuration, || unreachable!());
+/// assert_eq!(source, SolveSource::Memory);
+/// assert_eq!(first.unwrap(), second.unwrap());
+/// ```
 #[derive(Default)]
 pub struct SolveCache {
     slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    store: Option<SolveStore>,
 }
 
 impl SolveCache {
-    /// An empty cache.
+    /// An empty cache with no persistent tier.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the memoized result for `key`, calling `solve` exactly once
-    /// per distinct key across all threads. The boolean is `true` for a
-    /// cache hit.
+    /// An empty in-memory cache layered on `store`: in-memory misses read
+    /// through to disk, and fresh results are written back.
+    pub fn with_store(store: SolveStore) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The persistent tier, when the cache was built with
+    /// [`SolveCache::with_store`].
+    pub fn store(&self) -> Option<&SolveStore> {
+        self.store.as_ref()
+    }
+
+    /// Returns the memoized result for `key`, calling `solve` at most once
+    /// per distinct key across all threads (and not at all when the
+    /// persistent tier answers). `configuration` must be the configuration
+    /// the key was built from — the disk tier rebuilds mappings against it
+    /// instead of re-parsing the key's canonical JSON. The [`SolveSource`]
+    /// reports which tier — if any — served the result.
     pub fn solve_with(
         &self,
         key: CacheKey,
+        configuration: &Configuration,
         solve: impl FnOnce() -> Result<Mapping, MappingError>,
-    ) -> (Result<Mapping, MappingError>, bool) {
-        let (slot, claimed) = {
+    ) -> (Result<Mapping, MappingError>, SolveSource) {
+        let (slot, claimed, disk_key) = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
             match slots.entry(key) {
-                Entry::Occupied(entry) => (Arc::clone(entry.get()), false),
-                Entry::Vacant(entry) => (Arc::clone(entry.insert(Arc::new(Slot::new()))), true),
+                Entry::Occupied(entry) => (Arc::clone(entry.get()), false, None),
+                Entry::Vacant(entry) => {
+                    // Only the claimer needs the key again (for the disk
+                    // tier), so the non-trivial canonical-JSON clone is
+                    // paid once per distinct key, not per lookup.
+                    let disk_key = self.store.as_ref().map(|_| entry.key().clone());
+                    (
+                        Arc::clone(entry.insert(Arc::new(Slot::new()))),
+                        true,
+                        disk_key,
+                    )
+                }
             }
         };
         if claimed {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            // A panicking solve must still fill the slot, or every waiter on
-            // this key would block forever and the joining scope would hang
+            // A panicking lookup — whether in the disk tier or in the solve
+            // itself — must still fill the slot, or every waiter on this
+            // key would block forever and the joining scope would hang
             // instead of propagating the panic.
-            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(solve)) {
-                Ok(result) => result,
+            let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Only the claimer consults the disk tier, so disk hit/miss
+                // counts stay deterministic across worker counts.
+                let store = self.store.as_ref().zip(disk_key.as_ref());
+                match store.and_then(|(store, key)| store.load(key, configuration)) {
+                    Some(result) => (result, SolveSource::Disk),
+                    None => (solve(), SolveSource::Fresh),
+                }
+            }));
+            let (result, source) = match computed {
+                Ok(computed) => computed,
                 Err(panic) => {
                     let poison = Err(MappingError::Solver(ConicError::NumericalBreakdown {
                         iteration: 0,
@@ -129,18 +228,23 @@ impl SolveCache {
             *guard = Some(result.clone());
             slot.ready.notify_all();
             drop(guard);
-            (result, false)
+            if source == SolveSource::Fresh {
+                if let Some((store, key)) = self.store.as_ref().zip(disk_key.as_ref()) {
+                    store.save(key, &result);
+                }
+            }
+            (result, source)
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let mut guard = slot.result.lock().expect("slot lock poisoned");
             while guard.is_none() {
                 guard = slot.ready.wait(guard).expect("slot wait poisoned");
             }
-            (guard.clone().expect("slot filled"), true)
+            (guard.clone().expect("slot filled"), SolveSource::Memory)
         }
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters of the in-memory tier.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -166,11 +270,15 @@ mod tests {
         let options = paper_options();
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &options, "joint");
-        let (first, hit1) =
-            cache.solve_with(key.clone(), || compute_mapping(&configuration, &options));
-        let (second, hit2) = cache.solve_with(key, || panic!("must not re-solve"));
-        assert!(!hit1);
-        assert!(hit2);
+        let (first, source1) = cache.solve_with(key.clone(), &configuration, || {
+            compute_mapping(&configuration, &options)
+        });
+        let (second, source2) =
+            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        assert_eq!(source1, SolveSource::Fresh);
+        assert!(!source1.is_hit());
+        assert_eq!(source2, SolveSource::Memory);
+        assert!(source2.is_hit());
         assert_eq!(first.unwrap(), second.unwrap());
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
@@ -210,14 +318,15 @@ mod tests {
             with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &paper_options(), "joint");
-        let (first, _) = cache.solve_with(key.clone(), || {
+        let (first, _) = cache.solve_with(key.clone(), &configuration, || {
             Err(MappingError::Infeasible {
                 detail: "injected".to_string(),
             })
         });
         assert!(first.is_err());
-        let (second, hit) = cache.solve_with(key, || panic!("must not re-solve"));
-        assert!(hit);
+        let (second, source) =
+            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        assert_eq!(source, SolveSource::Memory);
         assert_eq!(first, second);
     }
 
@@ -228,13 +337,47 @@ mod tests {
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &paper_options(), "joint");
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.solve_with(key.clone(), || panic!("injected solver panic"))
+            cache.solve_with(key.clone(), &configuration, || {
+                panic!("injected solver panic")
+            })
         }));
         assert!(panicked.is_err(), "the claimer must re-raise the panic");
         // Waiters (and later lookups) get a poison error instead of hanging.
-        let (result, hit) = cache.solve_with(key, || panic!("must not re-solve"));
-        assert!(hit);
+        let (result, source) =
+            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        assert_eq!(source, SolveSource::Memory);
         assert!(result.unwrap_err().to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn disk_tier_answers_fresh_caches() {
+        let directory = crate::testutil::TempDir::new("cache-disk-tier");
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let options = paper_options();
+        let key = CacheKey::new(&configuration, &options, "joint");
+
+        let cold = SolveCache::with_store(SolveStore::open(directory.path()).unwrap());
+        let (first, source) = cold.solve_with(key.clone(), &configuration, || {
+            compute_mapping(&configuration, &options)
+        });
+        assert_eq!(source, SolveSource::Fresh);
+        assert_eq!(cold.store().unwrap().stats().stored, 1);
+        // Same process, same cache: the in-memory tier answers first.
+        let (_, source) =
+            cold.solve_with(key.clone(), &configuration, || panic!("must not re-solve"));
+        assert_eq!(source, SolveSource::Memory);
+
+        // A fresh cache on the same directory — a new process — reads disk.
+        let warm = SolveCache::with_store(SolveStore::open(directory.path()).unwrap());
+        let (second, source) = warm.solve_with(key, &configuration, || panic!("must not re-solve"));
+        assert_eq!(source, SolveSource::Disk);
+        assert_eq!(first.unwrap(), second.unwrap());
+        let stats = warm.store().unwrap().stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.fresh_solves, 0);
+        // The in-memory tier still counts the lookup as its own miss.
+        assert_eq!(warm.stats(), CacheStats { hits: 0, misses: 1 });
     }
 
     #[test]
@@ -248,7 +391,7 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     let key = CacheKey::new(&configuration, &options, "joint");
-                    let (result, _) = cache.solve_with(key, || {
+                    let (result, _) = cache.solve_with(key, &configuration, || {
                         solves.fetch_add(1, Ordering::Relaxed);
                         compute_mapping(&configuration, &options)
                     });

@@ -8,9 +8,10 @@
 //! cache's deterministic hit/miss accounting this makes the run's report
 //! independent of the worker count.
 
-use crate::cache::{CacheKey, CacheStats, SolveCache};
+use crate::cache::{CacheKey, CacheStats, SolveCache, SolveSource};
 use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
+use crate::store::StoreStats;
 use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
 use bbs_taskgraph::Configuration;
 use budget_buffer::{
@@ -79,8 +80,8 @@ pub struct PointOutcome {
     /// shared work is never double-counted). Never part of the serialisable
     /// report.
     pub solve_time: Duration,
-    /// Whether the solve was answered by the cache.
-    pub cache_hit: bool,
+    /// Which tier — in-memory, disk, or neither — served the result.
+    pub source: SolveSource,
     /// Simulator validation, when the scenario requested it and the solve
     /// succeeded.
     pub simulation: Option<SimulationCheck>,
@@ -124,6 +125,9 @@ pub struct SuiteOutcome {
     pub cache: CacheStats,
     /// Whether the cache was enabled.
     pub cache_enabled: bool,
+    /// Counters of the persistent disk tier, when the cache carries one
+    /// (see [`SolveCache::with_store`]).
+    pub store: Option<StoreStats>,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -310,6 +314,10 @@ pub fn run_suite_with_cache(
                 CacheStats { hits: 0, misses: 0 }
             },
             cache_enabled: settings.use_cache,
+            store: settings
+                .use_cache
+                .then(|| cache.store().map(|store| store.stats()))
+                .flatten(),
             wall_time: start.elapsed(),
         })
     })
@@ -344,11 +352,11 @@ fn execute_item(item: &WorkItem, cache: &SolveCache, settings: &RunSettings) -> 
         solve_duration.set(start.elapsed());
         result
     };
-    let (result, cache_hit) = if settings.use_cache {
+    let (result, source) = if settings.use_cache {
         let key = CacheKey::new(&item.configuration, &item.options, item.flow.as_str());
-        cache.solve_with(key, solve)
+        cache.solve_with(key, &item.configuration, solve)
     } else {
-        (solve(), false)
+        (solve(), SolveSource::Fresh)
     };
     let solve_time = solve_duration.get();
     let simulation = match (&result, item.simulate) {
@@ -363,7 +371,7 @@ fn execute_item(item: &WorkItem, cache: &SolveCache, settings: &RunSettings) -> 
         capacity_cap: item.capacity_cap,
         result,
         solve_time,
-        cache_hit,
+        source,
         simulation,
     }
 }
@@ -484,7 +492,10 @@ mod tests {
         let outcome = run_suite(&suite, &RunSettings::default()).unwrap();
         assert_eq!(outcome.cache.misses, 6);
         assert_eq!(outcome.cache.hits, 6);
-        assert!(outcome.scenarios[1].points.iter().all(|p| p.cache_hit));
+        assert!(outcome.scenarios[1]
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Memory));
         assert!(outcome.unexpected_failures().is_empty());
     }
 
@@ -499,7 +510,10 @@ mod tests {
         let second = run_suite_with_cache(&suite, &settings, &cache).unwrap();
         assert_eq!(second.cache.misses, 6, "no new solves on the second run");
         assert_eq!(second.cache.hits, 6);
-        assert!(second.scenarios[0].points.iter().all(|p| p.cache_hit));
+        assert!(second.scenarios[0]
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Memory));
         for (a, b) in first.scenarios[0]
             .points
             .iter()
@@ -516,7 +530,10 @@ mod tests {
             ..RunSettings::default()
         };
         let outcome = run_scenario(&pc_sweep_scenario("raw"), &settings).unwrap();
-        assert!(outcome.points.iter().all(|p| !p.cache_hit));
+        assert!(outcome
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Fresh));
         // Even a dirty shared cache must not leak counters into a run that
         // bypassed it.
         let cache = SolveCache::new();
@@ -557,20 +574,21 @@ mod tests {
                             detail: "expected".to_string(),
                         }),
                         solve_time: Duration::ZERO,
-                        cache_hit: false,
+                        source: SolveSource::Fresh,
                         simulation: None,
                     },
                     PointOutcome {
                         capacity_cap: Some(2),
                         result: Err(MappingError::Solver(ConicError::NonFiniteData)),
                         solve_time: Duration::ZERO,
-                        cache_hit: false,
+                        source: SolveSource::Fresh,
                         simulation: None,
                     },
                 ],
             }],
             cache: CacheStats { hits: 0, misses: 0 },
             cache_enabled: true,
+            store: None,
             wall_time: Duration::ZERO,
         };
         let failures = outcome.unexpected_failures();

@@ -14,6 +14,9 @@
 //!   deterministic result ordering.
 //! * [`cache`] — memoization of solves keyed by a canonical hash of
 //!   (configuration, options, flow), with deterministic hit/miss counters.
+//! * [`store`] — the persistent tier below the in-memory cache: a
+//!   content-addressed, schema-versioned on-disk store of solve results, so
+//!   repeated *processes* (CLI re-runs, CI, sweeps) skip solves too.
 //! * [`report`] — the machine-readable [`SuiteReport`] (schema-versioned
 //!   JSON, CSV, markdown) and the human renderers. Reports carry no
 //!   wall-clock data and are byte-identical across worker counts.
@@ -22,10 +25,15 @@
 //!
 //! ```text
 //! bbs run --suite paper --jobs 8 --json report.json
+//! bbs run --suite paper --cache-dir target/bbs-cache   # persistent solves
 //! bbs run --file my-suite.json --markdown EXPERIMENTS.md
 //! bbs list
 //! bbs check report.json
+//! bbs cache stats --cache-dir target/bbs-cache
 //! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the crate map and the solve pipeline, and
+//! `docs/CACHE.md` for the on-disk store format.
 //!
 //! # Example
 //!
@@ -44,16 +52,17 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 mod error;
 pub mod executor;
 pub mod report;
 pub mod scenario;
+pub mod store;
 pub mod suites;
 
-pub use cache::{CacheKey, CacheStats, SolveCache};
+pub use cache::{CacheKey, CacheStats, SolveCache, SolveSource};
 pub use error::EngineError;
 pub use executor::{
     run_scenario, run_suite, run_suite_with_cache, PointOutcome, RunSettings, ScenarioOutcome,
@@ -61,6 +70,37 @@ pub use executor::{
 };
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
+pub use store::{GcOutcome, GcPolicy, SolveStore, StoreStats, StoreSummary, STORE_SCHEMA_VERSION};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::{Path, PathBuf};
+
+    /// A unique, self-cleaning scratch directory for unit tests.
+    pub(crate) struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(label: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "bbs-engine-test-{label}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            Self(path)
+        }
+
+        pub(crate) fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -72,6 +112,7 @@ mod tests {
         assert_send_sync::<Scenario>();
         assert_send_sync::<Suite>();
         assert_send_sync::<SolveCache>();
+        assert_send_sync::<SolveStore>();
         assert_send_sync::<SuiteOutcome>();
         assert_send_sync::<SuiteReport>();
         assert_send_sync::<EngineError>();

@@ -487,9 +487,11 @@ fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
 }
 
 /// Renders the run summary with timings and cache markers — the part of the
-/// `bbs run` output that is *not* deterministic and therefore lives outside
-/// [`SuiteReport`].
+/// `bbs run` output that is *not* deterministic across disk-cache states and
+/// therefore lives outside [`SuiteReport`].
 pub fn render_timing_summary(outcome: &SuiteOutcome) -> String {
+    use crate::cache::SolveSource;
+
     let mut out = String::new();
     let points: usize = outcome.scenarios.iter().map(|s| s.points.len()).sum();
     let solve_time: f64 = outcome
@@ -511,20 +513,37 @@ pub fn render_timing_summary(outcome: &SuiteOutcome) -> String {
         solve_time * 1e3,
         outcome.wall_time.as_secs_f64() * 1e3,
     );
+    if let Some(store) = &outcome.store {
+        let _ = writeln!(
+            out,
+            "store: {} disk hits / {} fresh solves / {} newly stored / {} rejected",
+            store.disk_hits, store.fresh_solves, store.stored, store.rejected
+        );
+    }
     for scenario in &outcome.scenarios {
         let scenario_time: f64 = scenario
             .points
             .iter()
             .map(|p| p.solve_time.as_secs_f64())
             .sum();
-        let hits = scenario.points.iter().filter(|p| p.cache_hit).count();
+        let memo_hits = scenario
+            .points
+            .iter()
+            .filter(|p| p.source == SolveSource::Memory)
+            .count();
+        let disk_hits = scenario
+            .points
+            .iter()
+            .filter(|p| p.source == SolveSource::Disk)
+            .count();
         let _ = writeln!(
             out,
-            "  {:<28} {:>3} points  {:>9.2} ms  {} cache hits",
+            "  {:<28} {:>3} points  {:>9.2} ms  {} memo hits, {} disk hits",
             scenario.scenario.name,
             scenario.points.len(),
             scenario_time * 1e3,
-            hits
+            memo_hits,
+            disk_hits
         );
     }
     out

@@ -183,6 +183,33 @@ impl SweepSpec {
 
 /// One named study: workload, optional sweep, options, flow and
 /// post-processing flags.
+///
+/// # Example
+///
+/// ```
+/// use bbs_engine::{run_scenario, RunSettings, Scenario, SweepSpec, WorkloadSpec};
+/// use bbs_taskgraph::presets::PresetSpec;
+///
+/// // Sweep the producer/consumer preset over capacity caps 1..=4 and
+/// // report the per-container budget reduction (Figure 2(b)).
+/// let scenario = Scenario::new(
+///     "pc-tradeoff",
+///     WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+/// )
+/// .with_sweep(SweepSpec::range(1, 4))
+/// .with_derivative();
+/// scenario.validate().unwrap();
+///
+/// let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
+/// let totals = outcome.feasible_total_budgets();
+/// assert_eq!(totals.len(), 4);
+/// // More buffer space never costs budget.
+/// assert!(totals.windows(2).all(|w| w[1] <= w[0]));
+///
+/// // Scenarios (and suites of them) round-trip through JSON files.
+/// let json = serde_json::to_string(&scenario).unwrap();
+/// assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), scenario);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Name of the scenario, unique within its suite.

@@ -1,0 +1,915 @@
+//! The persistent, content-addressed solve store — the disk tier below the
+//! in-memory [`SolveCache`](crate::SolveCache).
+//!
+//! Every `bbs` invocation starts with an empty in-memory cache, so without
+//! persistence a re-run of a suite pays full solve cost for every distinct
+//! problem instance. The store closes that gap: each completed solve is
+//! written to a directory keyed by the same canonical identity the in-memory
+//! cache uses — the (configuration, options, flow) triple of the
+//! [`CacheKey`] — and later runs (of any process) read it back instead of
+//! solving again.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/v1/<hh>/<hhhhhhhhhhhhhhhh>.json
+//! ```
+//!
+//! where `hhhhhhhhhhhhhhhh` is the 16-hex-digit FNV-1a hash of the full
+//! cache key and `<hh>` its first two digits (a 256-way fan-out so no single
+//! directory grows huge). The `v1` segment is [`STORE_SCHEMA_VERSION`]:
+//! bumping the version makes old trees invisible instead of misread. Each
+//! entry is a single JSON object that repeats the *full* canonical key, so a
+//! 64-bit hash collision is detected by string comparison and treated as a
+//! miss, never as a wrong answer.
+//!
+//! # Crash- and concurrency-safety
+//!
+//! Entries are written to a temporary file in the destination directory and
+//! atomically renamed into place, so concurrent `bbs --jobs N` runs (or
+//! several independent processes sharing one cache directory) can race
+//! freely: the worst case is solving the same instance twice and one writer
+//! winning the rename. Partial, truncated or otherwise corrupt entries are
+//! counted and ignored — the engine falls back to a fresh solve and rewrites
+//! the entry.
+//!
+//! # What is (not) persisted
+//!
+//! Feasible mappings are stored as the solver's *raw* values plus objective
+//! and iteration count; the rounded mapping is reconstructed with
+//! [`Mapping::from_raw`], which is deterministic, so a disk hit is
+//! bit-identical to the original solve. Genuine infeasibility (no mapping
+//! exists — a mathematical property of the problem) is persisted too.
+//! Solver breakdowns, model errors and verification failures are *not*
+//! persisted: they describe the engine, not the problem, and must be
+//! re-attempted by later runs.
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_engine::{run_suite_with_cache, RunSettings, SolveCache, SolveStore};
+//! use bbs_engine::suites::smoke_suite;
+//!
+//! let dir = std::env::temp_dir().join(format!("bbs-store-doc-{}", std::process::id()));
+//! let settings = RunSettings::default();
+//!
+//! // Cold run: every distinct instance is solved and stored.
+//! let cache = SolveCache::with_store(SolveStore::open(&dir).unwrap());
+//! run_suite_with_cache(&smoke_suite(), &settings, &cache).unwrap();
+//! let cold = cache.store().unwrap().stats();
+//! assert_eq!(cold.disk_hits, 0);
+//! assert!(cold.stored > 0);
+//!
+//! // Warm run in a fresh cache (a new process): all disk hits, no solves.
+//! let cache = SolveCache::with_store(SolveStore::open(&dir).unwrap());
+//! run_suite_with_cache(&smoke_suite(), &settings, &cache).unwrap();
+//! let warm = cache.store().unwrap().stats();
+//! assert_eq!(warm.fresh_solves, 0);
+//! assert_eq!(warm.disk_hits, cold.stored);
+//!
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::cache::CacheKey;
+use bbs_taskgraph::{fnv1a, BufferRef, Configuration, MemoryId, ProcessorId, TaskRef};
+use budget_buffer::{Mapping, MappingError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// Version of the on-disk entry format. Entries live under a `v<N>`
+/// directory *and* carry the version in their body; both must match, so a
+/// format change makes old entries invisible rather than misread.
+pub const STORE_SCHEMA_VERSION: u64 = 1;
+
+/// Run counters of a [`SolveStore`], all deterministic across `--jobs`
+/// because the in-memory tier funnels exactly one lookup per distinct key
+/// to the disk tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups answered from disk.
+    pub disk_hits: u64,
+    /// Lookups that found no usable entry and had to solve.
+    pub fresh_solves: u64,
+    /// Entries written (fresh solves whose outcome is persistable).
+    pub stored: u64,
+    /// Entries ignored because they were corrupt, carried a foreign schema
+    /// version, or collided with a different key.
+    pub rejected: u64,
+}
+
+/// What `bbs cache stats` reports: a full scan of the store directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreSummary {
+    /// Readable entries of the current schema version.
+    pub entries: u64,
+    /// Entries holding a feasible mapping.
+    pub feasible: u64,
+    /// Entries holding a persisted infeasibility.
+    pub infeasible: u64,
+    /// Files that failed to parse or carry a foreign schema version.
+    pub corrupt: u64,
+    /// Total size of all entry files, in bytes.
+    pub total_bytes: u64,
+}
+
+/// Retention policy for [`SolveStore::gc`]. Unset fields do not constrain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Keep at most this many entries (the most recently written survive).
+    pub max_entries: Option<u64>,
+    /// Remove entries last written longer than this ago.
+    pub max_age: Option<Duration>,
+}
+
+/// What a [`SolveStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entry files removed.
+    pub removed: u64,
+    /// Entry files kept.
+    pub kept: u64,
+}
+
+/// One entry file: the full canonical key (collision guard) plus exactly one
+/// of a stored mapping or a stored infeasibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredEntry {
+    schema: u64,
+    fingerprint: u64,
+    configuration: String,
+    options: String,
+    flow: String,
+    feasible: Option<StoredMapping>,
+    infeasible: Option<StoredInfeasibility>,
+}
+
+/// The raw solver values a [`Mapping`] is deterministically rebuilt from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredMapping {
+    raw_budgets: Vec<(TaskRef, f64)>,
+    raw_space: Vec<(BufferRef, f64)>,
+    objective: f64,
+    solver_iterations: u64,
+}
+
+/// A persisted genuine-infeasibility outcome. `kind` selects the
+/// [`MappingError`] variant; the variant's fields ride along as options
+/// (the vendored serde derives structs only, so enums are flattened here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredInfeasibility {
+    kind: String,
+    detail: Option<String>,
+    buffer: Option<BufferRef>,
+    cap: Option<u64>,
+    initial_tokens: Option<u64>,
+    processor: Option<ProcessorId>,
+    required_cycles: Option<f64>,
+    available_cycles: Option<f64>,
+    memory: Option<MemoryId>,
+    required_storage: Option<u64>,
+    available_storage: Option<u64>,
+}
+
+/// A persistent, content-addressed store of solve results on disk.
+///
+/// Open one with [`SolveStore::open`] and attach it to a cache with
+/// [`SolveCache::with_store`](crate::SolveCache::with_store); the cache then
+/// reads through to disk on every in-memory miss and writes every fresh,
+/// persistable result back. See the [module docs](self) for the format and
+/// the safety story.
+#[derive(Debug)]
+pub struct SolveStore {
+    root: PathBuf,
+    disk_hits: AtomicU64,
+    fresh_solves: AtomicU64,
+    stored: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Process-global distinguisher for temporary file names: two
+/// [`SolveStore`] instances opened on the same directory in one process
+/// must never write the same temp file.
+static WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl SolveStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the directory cannot be
+    /// created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(version_dir(&root))?;
+        Ok(Self {
+            root,
+            disk_hits: AtomicU64::new(0),
+            fresh_solves: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a store rooted at an *existing* directory, creating nothing —
+    /// the constructor for read-and-manage commands (`bbs cache`), which
+    /// must not materialise a store tree at a mistyped path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::NotFound`] when `dir` is not a directory.
+    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let root = dir.as_ref();
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} is not a directory", root.display()),
+            ));
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            disk_hits: AtomicU64::new(0),
+            fresh_solves: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory the store was opened at.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// This run's counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            fresh_solves: self.fresh_solves.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks `key` up on disk; `configuration` must be the configuration
+    /// the key was built from (it rebuilds the mapping without re-parsing
+    /// the key's canonical JSON). Returns `None` — after bumping the
+    /// fresh-solve counter — when there is no entry, the entry is corrupt or
+    /// foreign-versioned, or it belongs to a hash-colliding different key.
+    pub fn load(
+        &self,
+        key: &CacheKey,
+        configuration: &Configuration,
+    ) -> Option<Result<Mapping, MappingError>> {
+        debug_assert_eq!(
+            key.configuration,
+            configuration.canonical_json(),
+            "load() must receive the configuration its key was built from"
+        );
+        match self.try_load(key, configuration) {
+            Some(result) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            None => {
+                self.fresh_solves.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn try_load(
+        &self,
+        key: &CacheKey,
+        configuration: &Configuration,
+    ) -> Option<Result<Mapping, MappingError>> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            // A missing entry is the normal cold-cache case, not a rejection.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => return self.reject(),
+        };
+        let Ok(entry) = serde_json::from_str::<StoredEntry>(&text) else {
+            return self.reject();
+        };
+        if entry.schema != STORE_SCHEMA_VERSION {
+            return self.reject();
+        }
+        // Full-key comparison: a 64-bit hash collision surfaces here and
+        // falls back to a fresh solve instead of returning a wrong answer.
+        if entry.fingerprint != key.fingerprint
+            || entry.configuration != key.configuration
+            || entry.options != key.options
+            || entry.flow != key.flow
+        {
+            return self.reject();
+        }
+        match (entry.feasible, entry.infeasible) {
+            (Some(mapping), None) => match decode_mapping(&mapping, configuration) {
+                Some(mapping) => Some(Ok(mapping)),
+                None => self.reject(),
+            },
+            (None, Some(error)) => match decode_infeasibility(&error) {
+                Some(error) => Some(Err(error)),
+                None => self.reject(),
+            },
+            _ => self.reject(),
+        }
+    }
+
+    fn reject(&self) -> Option<Result<Mapping, MappingError>> {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Persists a solve result, best-effort: I/O failures and
+    /// non-persistable errors (solver breakdowns, model errors,
+    /// verification failures — see the [module docs](self)) are skipped
+    /// silently; the next run simply solves again.
+    pub fn save(&self, key: &CacheKey, result: &Result<Mapping, MappingError>) {
+        let outcome = match result {
+            Ok(mapping) => (Some(encode_mapping(mapping)), None),
+            Err(error) => match encode_infeasibility(error) {
+                Some(stored) => (None, Some(stored)),
+                None => return,
+            },
+        };
+        let entry = StoredEntry {
+            schema: STORE_SCHEMA_VERSION,
+            fingerprint: key.fingerprint,
+            configuration: key.configuration.clone(),
+            options: key.options.clone(),
+            flow: key.flow.clone(),
+            feasible: outcome.0,
+            infeasible: outcome.1,
+        };
+        let Ok(mut text) = serde_json::to_string(&entry) else {
+            return;
+        };
+        text.push('\n');
+        if self.write_atomically(&self.entry_path(key), &text).is_ok() {
+            self.stored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes `text` to a temporary file next to `path` and renames it into
+    /// place, so readers never observe a partial entry.
+    fn write_atomically(&self, path: &Path, text: &str) -> io::Result<()> {
+        let directory = path.parent().expect("entry paths have a shard directory");
+        fs::create_dir_all(directory)?;
+        let unique = WRITE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let temp = directory.join(format!(".tmp-{}-{unique}", std::process::id()));
+        fs::write(&temp, text)?;
+        match fs::rename(&temp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // A lost rename race means another process persisted the
+                // same entry; drop our copy.
+                let _ = fs::remove_file(&temp);
+                Err(e)
+            }
+        }
+    }
+
+    /// The entry file for `key`:
+    /// `<root>/v<schema>/<hh>/<16-hex-digit key hash>.json`.
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        let hex = format!("{:016x}", store_hash(key));
+        version_dir(&self.root).join(&hex[..2]).join(hex + ".json")
+    }
+
+    /// Every entry file of the current schema version, as
+    /// `(path, modified, bytes)` sorted oldest-first (ties broken by path so
+    /// GC is deterministic). Files that vanish mid-scan — a concurrent
+    /// `gc`/`clear` — are skipped, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the directory tree cannot
+    /// be read.
+    pub fn entries(&self) -> io::Result<Vec<(PathBuf, SystemTime, u64)>> {
+        let mut entries = Vec::new();
+        let version = version_dir(&self.root);
+        // A missing version directory is an empty store (e.g. cleared by a
+        // concurrent process); reads stay pure and never create it.
+        let shards = match fs::read_dir(&version) {
+            Ok(shards) => shards,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+            Err(e) => return Err(e),
+        };
+        for shard in shards {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            let files = match fs::read_dir(&shard) {
+                Ok(files) => files,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for file in files {
+                let file = file?;
+                let path = file.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue; // temp files and strays
+                }
+                let metadata = match file.metadata() {
+                    Ok(metadata) => metadata,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(e),
+                };
+                let modified = metadata.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                entries.push((path, modified, metadata.len()));
+            }
+        }
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(entries)
+    }
+
+    /// Scans the whole store for `bbs cache stats`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the directory tree cannot
+    /// be read.
+    pub fn summary(&self) -> io::Result<StoreSummary> {
+        let mut summary = StoreSummary::default();
+        for (path, _, bytes) in self.entries()? {
+            summary.total_bytes += bytes;
+            let parsed = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| serde_json::from_str::<StoredEntry>(&text).ok())
+                .filter(|entry| entry.schema == STORE_SCHEMA_VERSION);
+            // Classify with the same validity rule `try_load` applies, so
+            // stats never report entries a lookup would reject.
+            match parsed.map(|entry| (entry.feasible, entry.infeasible)) {
+                Some((Some(_), None)) => {
+                    summary.entries += 1;
+                    summary.feasible += 1;
+                }
+                Some((None, Some(_))) => {
+                    summary.entries += 1;
+                    summary.infeasible += 1;
+                }
+                Some(_) | None => summary.corrupt += 1,
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Removes every entry (all schema versions). Returns the number of
+    /// files removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the tree cannot be removed.
+    pub fn clear(&self) -> io::Result<u64> {
+        let mut removed = 0;
+        let versions = match fs::read_dir(&self.root) {
+            Ok(versions) => Some(versions),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        for version in versions.into_iter().flatten() {
+            let version = version?.path();
+            if version.is_dir() {
+                removed += count_files(&version)?;
+                // A concurrent clear may have won the race; only a tree
+                // that still exists unremoved is an error.
+                if let Err(e) = fs::remove_dir_all(&version) {
+                    if version.exists() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        fs::create_dir_all(version_dir(&self.root))?;
+        Ok(removed)
+    }
+
+    /// Applies a retention policy: first drops entries older than
+    /// `max_age`, then — oldest first — drops entries beyond `max_entries`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the directory tree cannot
+    /// be read (individual failed removals are skipped, not errors: a
+    /// concurrent run may have removed or replaced the file already).
+    pub fn gc(&self, policy: GcPolicy) -> io::Result<GcOutcome> {
+        let entries = self.entries()?;
+        let now = SystemTime::now();
+        let mut keep: Vec<&(PathBuf, SystemTime, u64)> = Vec::new();
+        let mut outcome = GcOutcome::default();
+        for entry in &entries {
+            let age = now.duration_since(entry.1).unwrap_or(Duration::ZERO);
+            if policy.max_age.is_some_and(|limit| age > limit) {
+                if fs::remove_file(&entry.0).is_ok() {
+                    outcome.removed += 1;
+                }
+            } else {
+                keep.push(entry);
+            }
+        }
+        if let Some(max_entries) = policy.max_entries {
+            // `keep` is oldest-first, so the excess head is the oldest.
+            let excess = keep.len().saturating_sub(max_entries as usize);
+            for entry in keep.drain(..excess) {
+                if fs::remove_file(&entry.0).is_ok() {
+                    outcome.removed += 1;
+                }
+            }
+        }
+        outcome.kept = keep.len() as u64;
+        Ok(outcome)
+    }
+}
+
+/// The content address of a key: FNV-1a over the full canonical identity.
+/// NUL separators keep `(configuration, options)` splits unambiguous.
+fn store_hash(key: &CacheKey) -> u64 {
+    let mut bytes =
+        Vec::with_capacity(key.configuration.len() + key.options.len() + key.flow.len() + 2);
+    bytes.extend_from_slice(key.configuration.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(key.options.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(key.flow.as_bytes());
+    fnv1a(&bytes)
+}
+
+fn version_dir(root: &Path) -> PathBuf {
+    root.join(format!("v{STORE_SCHEMA_VERSION}"))
+}
+
+fn count_files(directory: &Path) -> io::Result<u64> {
+    let mut count = 0;
+    let files = match fs::read_dir(directory) {
+        Ok(files) => files,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in files {
+        let path = entry?.path();
+        if path.is_dir() {
+            count += count_files(&path)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+fn encode_mapping(mapping: &Mapping) -> StoredMapping {
+    StoredMapping {
+        raw_budgets: mapping
+            .budgets()
+            .map(|(task, _)| (task, mapping.raw_budget(task)))
+            .collect(),
+        raw_space: mapping
+            .capacities()
+            .map(|(buffer, _)| (buffer, mapping.raw_space(buffer)))
+            .collect(),
+        objective: mapping.objective(),
+        solver_iterations: mapping.solver_iterations() as u64,
+    }
+}
+
+/// Rebuilds the mapping through [`Mapping::from_raw`], which re-applies the
+/// paper's deterministic rounding — the result is identical to the original
+/// solve. Returns `None` when the stored task/buffer references do not
+/// match the configuration (a tampered or corrupt entry).
+fn decode_mapping(stored: &StoredMapping, configuration: &Configuration) -> Option<Mapping> {
+    let tasks = configuration.all_tasks();
+    let buffers = configuration.all_buffers();
+    let raw_budgets: BTreeMap<TaskRef, f64> = stored.raw_budgets.iter().copied().collect();
+    let raw_space: BTreeMap<BufferRef, f64> = stored.raw_space.iter().copied().collect();
+    let references_match = raw_budgets.len() == tasks.len()
+        && tasks.iter().all(|task| raw_budgets.contains_key(task))
+        && raw_space.len() == buffers.len()
+        && buffers.iter().all(|buffer| raw_space.contains_key(buffer));
+    if !references_match {
+        return None;
+    }
+    Some(Mapping::from_raw(
+        configuration,
+        raw_budgets,
+        raw_space,
+        stored.objective,
+        stored.solver_iterations as usize,
+    ))
+}
+
+/// Encodes the genuine-infeasibility [`MappingError`] variants; everything
+/// else (solver breakdowns, model errors, verification failures) returns
+/// `None` and is deliberately not persisted.
+fn encode_infeasibility(error: &MappingError) -> Option<StoredInfeasibility> {
+    let empty = StoredInfeasibility {
+        kind: String::new(),
+        detail: None,
+        buffer: None,
+        cap: None,
+        initial_tokens: None,
+        processor: None,
+        required_cycles: None,
+        available_cycles: None,
+        memory: None,
+        required_storage: None,
+        available_storage: None,
+    };
+    match error {
+        MappingError::Infeasible { detail } => Some(StoredInfeasibility {
+            kind: "infeasible".to_string(),
+            detail: Some(detail.clone()),
+            ..empty
+        }),
+        MappingError::CapBelowInitialTokens {
+            buffer,
+            cap,
+            initial_tokens,
+        } => Some(StoredInfeasibility {
+            kind: "cap-below-initial-tokens".to_string(),
+            buffer: Some(*buffer),
+            cap: Some(*cap),
+            initial_tokens: Some(*initial_tokens),
+            ..empty
+        }),
+        MappingError::ProcessorOverloaded {
+            processor,
+            required,
+            available,
+        } => Some(StoredInfeasibility {
+            kind: "processor-overloaded".to_string(),
+            processor: Some(*processor),
+            required_cycles: Some(*required),
+            available_cycles: Some(*available),
+            ..empty
+        }),
+        MappingError::MemoryOverflow {
+            memory,
+            required,
+            available,
+        } => Some(StoredInfeasibility {
+            kind: "memory-overflow".to_string(),
+            memory: Some(*memory),
+            required_storage: Some(*required),
+            available_storage: Some(*available),
+            ..empty
+        }),
+        MappingError::Model(_)
+        | MappingError::Solver(_)
+        | MappingError::VerificationFailed { .. } => None,
+    }
+}
+
+fn decode_infeasibility(stored: &StoredInfeasibility) -> Option<MappingError> {
+    match stored.kind.as_str() {
+        "infeasible" => Some(MappingError::Infeasible {
+            detail: stored.detail.clone()?,
+        }),
+        "cap-below-initial-tokens" => Some(MappingError::CapBelowInitialTokens {
+            buffer: stored.buffer?,
+            cap: stored.cap?,
+            initial_tokens: stored.initial_tokens?,
+        }),
+        "processor-overloaded" => Some(MappingError::ProcessorOverloaded {
+            processor: stored.processor?,
+            required: stored.required_cycles?,
+            available: stored.available_cycles?,
+        }),
+        "memory-overflow" => Some(MappingError::MemoryOverflow {
+            memory: stored.memory?,
+            required: stored.required_storage?,
+            available: stored.available_storage?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+    use bbs_taskgraph::{BufferId, TaskGraphId, TaskId};
+    use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
+
+    fn solved() -> (Configuration, CacheKey, Result<Mapping, MappingError>) {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
+        let options = SolveOptions::default().prefer_budget_minimisation();
+        let key = CacheKey::new(&configuration, &options, "joint");
+        let result = compute_mapping(&configuration, &options);
+        (configuration, key, result)
+    }
+
+    #[test]
+    fn mapping_round_trips_bit_identically() {
+        let directory = TempDir::new("roundtrip");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, result) = solved();
+        store.save(&key, &result);
+        let loaded = store.load(&key, &configuration).expect("entry persisted");
+        assert_eq!(loaded.unwrap(), result.unwrap());
+        assert_eq!(store.stats().disk_hits, 1);
+        assert_eq!(store.stats().stored, 1);
+    }
+
+    #[test]
+    fn missing_entry_is_a_fresh_solve_not_a_rejection() {
+        let directory = TempDir::new("missing");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, _) = solved();
+        assert!(store.load(&key, &configuration).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.fresh_solves, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn infeasibility_variants_round_trip() {
+        let cases = vec![
+            MappingError::Infeasible {
+                detail: "dual unbounded".to_string(),
+            },
+            MappingError::CapBelowInitialTokens {
+                buffer: BufferRef::new(TaskGraphId::new(0), BufferId::new(1)),
+                cap: 1,
+                initial_tokens: 2,
+            },
+            MappingError::ProcessorOverloaded {
+                processor: ProcessorId::new(3),
+                required: 41.5,
+                available: 40.0,
+            },
+            MappingError::MemoryOverflow {
+                memory: MemoryId::new(0),
+                required: 12,
+                available: 8,
+            },
+        ];
+        for error in cases {
+            let stored = encode_infeasibility(&error).expect("persistable");
+            let json = serde_json::to_string(&stored).unwrap();
+            let back: StoredInfeasibility = serde_json::from_str(&json).unwrap();
+            let decoded = decode_infeasibility(&back).expect("decodable");
+            assert_eq!(decoded, error);
+            assert_eq!(decoded.to_string(), error.to_string());
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_not_persisted() {
+        use bbs_conic::ConicError;
+        let directory = TempDir::new("transient");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, _) = solved();
+        store.save(&key, &Err(MappingError::Solver(ConicError::NonFiniteData)));
+        assert_eq!(store.stats().stored, 0);
+        assert!(store.load(&key, &configuration).is_none());
+        assert!(encode_infeasibility(&MappingError::VerificationFailed {
+            graph: None,
+            detail: "x".to_string(),
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn corrupt_and_foreign_schema_entries_are_rejected() {
+        let directory = TempDir::new("corrupt");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, result) = solved();
+        store.save(&key, &result);
+        let path = store.entry_path(&key);
+
+        fs::write(&path, "{truncated").unwrap();
+        assert!(store.load(&key, &configuration).is_none());
+
+        let mut entry: StoredEntry = {
+            store.save(&key, &result);
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap()
+        };
+        entry.schema = STORE_SCHEMA_VERSION + 1;
+        fs::write(&path, serde_json::to_string(&entry).unwrap()).unwrap();
+        assert!(store.load(&key, &configuration).is_none());
+        assert_eq!(store.stats().rejected, 2);
+    }
+
+    #[test]
+    fn hash_collisions_fall_back_to_a_fresh_solve() {
+        let directory = TempDir::new("collision");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, result) = solved();
+        store.save(&key, &result);
+        // Simulate a 64-bit hash collision: a different canonical key whose
+        // entry file happens to be the one we just wrote. (`try_load`
+        // directly: `load`'s debug assertion — correctly — refuses a key
+        // that does not match its configuration, and no real Configuration
+        // can produce this synthetic canonical JSON.)
+        let mut colliding = key.clone();
+        colliding.configuration.push(' ');
+        let collision_path = store.entry_path(&colliding);
+        fs::create_dir_all(collision_path.parent().unwrap()).unwrap();
+        fs::copy(store.entry_path(&key), &collision_path).unwrap();
+        assert!(
+            store.try_load(&colliding, &configuration).is_none(),
+            "collision must miss"
+        );
+        assert_eq!(store.stats().rejected, 1);
+    }
+
+    #[test]
+    fn tampered_references_are_rejected_not_panicking() {
+        let directory = TempDir::new("tamper");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, result) = solved();
+        store.save(&key, &result);
+        let path = store.entry_path(&key);
+        let mut entry: StoredEntry =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        let stored = entry.feasible.as_mut().unwrap();
+        // Point a budget at a task that does not exist in the configuration.
+        stored.raw_budgets[0].0 = TaskRef::new(TaskGraphId::new(7), TaskId::new(9));
+        fs::write(&path, serde_json::to_string(&entry).unwrap()).unwrap();
+        assert!(store.load(&key, &configuration).is_none());
+        assert_eq!(store.stats().rejected, 1);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let directory = TempDir::new("clear");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (configuration, key, result) = solved();
+        store.save(&key, &result);
+        assert_eq!(store.summary().unwrap().entries, 1);
+        assert_eq!(store.clear().unwrap(), 1);
+        assert_eq!(store.summary().unwrap().entries, 0);
+        // The store stays usable after a clear.
+        store.save(&key, &result);
+        assert!(store.load(&key, &configuration).is_some());
+    }
+
+    #[test]
+    fn gc_honours_max_entries_and_max_age() {
+        let directory = TempDir::new("gc");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = SolveOptions::default().prefer_budget_minimisation();
+        for cap in 1..=4u64 {
+            let configuration = with_capacity_cap(&base, cap);
+            let key = CacheKey::new(&configuration, &options, "joint");
+            store.save(&key, &compute_mapping(&configuration, &options));
+        }
+        assert_eq!(store.summary().unwrap().entries, 4);
+
+        let outcome = store
+            .gc(GcPolicy {
+                max_entries: Some(2),
+                max_age: None,
+            })
+            .unwrap();
+        assert_eq!(outcome.removed, 2);
+        assert_eq!(outcome.kept, 2);
+        assert_eq!(store.summary().unwrap().entries, 2);
+
+        std::thread::sleep(Duration::from_millis(20));
+        let outcome = store
+            .gc(GcPolicy {
+                max_entries: None,
+                max_age: Some(Duration::from_millis(1)),
+            })
+            .unwrap();
+        assert_eq!(outcome.removed, 2);
+        assert_eq!(store.summary().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn summary_counts_feasible_infeasible_and_corrupt() {
+        let directory = TempDir::new("summary");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let (_, key, result) = solved();
+        store.save(&key, &result);
+        let infeasible_configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 2);
+        let options = SolveOptions::default().prefer_budget_minimisation();
+        let infeasible_key = CacheKey::new(&infeasible_configuration, &options, "two-phase-min");
+        store.save(
+            &infeasible_key,
+            &Err(MappingError::Infeasible {
+                detail: "injected".to_string(),
+            }),
+        );
+        let shard = version_dir(directory.path()).join("zz");
+        fs::create_dir_all(&shard).unwrap();
+        fs::write(shard.join("junk.json"), "not json").unwrap();
+        let summary = store.summary().unwrap();
+        assert_eq!(summary.entries, 2);
+        assert_eq!(summary.feasible, 1);
+        assert_eq!(summary.infeasible, 1);
+        assert_eq!(summary.corrupt, 1);
+        assert!(summary.total_bytes > 0);
+    }
+}

@@ -102,14 +102,14 @@ proptest! {
 
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &options, "joint");
-        let (first, hit_first) =
-            cache.solve_with(key.clone(), || compute_mapping(&configuration, &options));
-        let (hit_result, hit_second) =
-            cache.solve_with(key, || panic!("second lookup must not solve"));
+        let (first, source_first) =
+            cache.solve_with(key.clone(), &configuration, || compute_mapping(&configuration, &options));
+        let (hit_result, source_second) =
+            cache.solve_with(key, &configuration, || panic!("second lookup must not solve"));
         let fresh = compute_mapping(&configuration, &options);
 
-        prop_assert!(!hit_first);
-        prop_assert!(hit_second);
+        prop_assert!(!source_first.is_hit());
+        prop_assert!(source_second.is_hit());
         prop_assert_eq!(first.clone().unwrap(), hit_result.unwrap());
         prop_assert_eq!(first.unwrap(), fresh.unwrap());
     }

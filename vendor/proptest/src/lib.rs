@@ -145,7 +145,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Number of elements a [`vec`] strategy may generate.
+    /// Number of elements a [`vec()`] strategy may generate.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -180,7 +180,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
