@@ -1,0 +1,89 @@
+//! Scheduler contention: work-stealing deques vs the shared-queue baseline.
+//!
+//! The paper's figure 2/3 sweeps are a many-small-points workload: hundreds
+//! of work items whose per-item cost collapses to a memo-cache hit once the
+//! distinct instances are solved. That is exactly where a single shared
+//! queue serialises the pool — every pop takes the one lock — and where
+//! per-worker deques pay off: workers drain their own shard lock-free of
+//! each other and only touch a victim's deque when they run dry.
+//!
+//! The synthetic suite below has 500 single-point scenarios over one tiny
+//! workload (one distinct cache key), so a run is one real solve plus 499
+//! memo hits: per-item work is a few microseconds and the measured spread
+//! between `shared_queue` and `work_stealing` is scheduler overhead, not
+//! solver time. A cold-cache group with distinct keys per scenario batch is
+//! included so the stealing pool is also exercised under real solve load.
+
+use bbs_engine::{run_suite, RunSettings, Scenario, Suite, SweepSpec, WorkloadSpec};
+use bbs_taskgraph::presets::PresetSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// `points` single-point scenarios over one shared tiny workload: one
+/// distinct solve, `points - 1` memo hits — a pure scheduling stress.
+fn contention_suite(points: usize) -> Suite {
+    let scenarios = (0..points)
+        .map(|i| {
+            Scenario::new(
+                &format!("p{i:04}"),
+                WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+            )
+            .with_sweep(SweepSpec::list([4u64]))
+        })
+        .collect();
+    Suite::new("contention", scenarios)
+}
+
+/// A smaller suite whose scenarios sweep distinct caps, so every item is a
+/// real solve: the stealing pool under actual load imbalance.
+fn solve_suite(scenarios: usize) -> Suite {
+    let scenarios = (0..scenarios)
+        .map(|i| {
+            Scenario::new(
+                &format!("s{i:02}"),
+                WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+            )
+            .with_sweep(SweepSpec::range(1, 6))
+        })
+        .collect();
+    Suite::new("solves", scenarios)
+}
+
+fn settings(jobs: usize, steal: bool) -> RunSettings {
+    RunSettings {
+        jobs,
+        steal,
+        ..RunSettings::default()
+    }
+}
+
+fn bench_memo_hit_storm(c: &mut Criterion) {
+    let suite = contention_suite(500);
+    let mut group = c.benchmark_group("executor_contention_500pt");
+    group.sample_size(20);
+    for jobs in [4usize, 8] {
+        group.bench_function(format!("shared_queue_j{jobs}"), |b| {
+            b.iter(|| run_suite(black_box(&suite), &settings(jobs, false)).unwrap());
+        });
+        group.bench_function(format!("work_stealing_j{jobs}"), |b| {
+            b.iter(|| run_suite(black_box(&suite), &settings(jobs, true)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_solves(c: &mut Criterion) {
+    let suite = solve_suite(4);
+    let mut group = c.benchmark_group("executor_real_solves_24pt");
+    group.sample_size(10);
+    group.bench_function("shared_queue_j8", |b| {
+        b.iter(|| run_suite(black_box(&suite), &settings(8, false)).unwrap());
+    });
+    group.bench_function("work_stealing_j8", |b| {
+        b.iter(|| run_suite(black_box(&suite), &settings(8, true)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo_hit_storm, bench_real_solves);
+criterion_main!(benches);

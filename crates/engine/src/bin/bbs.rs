@@ -1,7 +1,7 @@
 //! `bbs` — run budget/buffer scenario suites from the command line.
 //!
 //! ```text
-//! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
+//! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
 //!         [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
 //!         [--quiet]
 //! bbs list
@@ -23,14 +23,15 @@
 use bbs_engine::report::render_timing_summary;
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
-    run_suite_with_cache, GcPolicy, RunSettings, SolveCache, SolveStore, Suite, SuiteReport,
+    run_suite_with_cache, GcPolicy, PanicInjection, RunSettings, SolveCache, SolveStore, Suite,
+    SuiteReport,
 };
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
-  bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache]
+  bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
           [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
           [--quiet]
   bbs list
@@ -39,7 +40,9 @@ usage:
             [--cache-dir DIR]
 
 `--json`/`--csv`/`--markdown` accept `-` for stdout. `--cache-dir` (or the
-BBS_CACHE_DIR environment variable) persists solve results across runs.";
+BBS_CACHE_DIR environment variable) persists solve results across runs.
+`--no-steal` schedules work over the single shared queue instead of the
+work-stealing per-worker deques (reports are identical either way).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +72,7 @@ struct RunArgs {
     file: Option<String>,
     jobs: usize,
     use_cache: bool,
+    steal: bool,
     cache_dir: Option<String>,
     json: Option<String>,
     csv: Option<String>,
@@ -82,6 +86,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         file: None,
         jobs: 1,
         use_cache: true,
+        steal: true,
         cache_dir: None,
         json: None,
         csv: None,
@@ -107,6 +112,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
             }
             "--no-cache" => parsed.use_cache = false,
+            "--no-steal" => parsed.steal = false,
             "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
             "--json" => parsed.json = Some(value("--json")?),
             "--csv" => parsed.csv = Some(value("--csv")?),
@@ -146,22 +152,61 @@ fn write_output(path: &str, contents: &str, label: &str) -> Result<(), String> {
     }
 }
 
-/// Rejects an empty `--cache-dir` (e.g. an unset shell variable), which
-/// would otherwise root the store in the current working directory.
+/// Rejects an empty or all-whitespace `--cache-dir` (e.g. an unset or
+/// mistyped shell variable), which would otherwise be taken as a real path
+/// and root the store in the current working directory.
 fn non_empty_dir(dir: String) -> Result<String, String> {
-    if dir.is_empty() {
+    if dir.trim().is_empty() {
         Err("--cache-dir needs a non-empty path".to_string())
     } else {
         Ok(dir)
     }
 }
 
-/// The cache directory in effect: the flag wins over `BBS_CACHE_DIR`.
+/// The cache directory in effect: the flag wins over `BBS_CACHE_DIR`. An
+/// empty or all-whitespace environment value behaves exactly like an unset
+/// one — `BBS_CACHE_DIR="" bbs run` must not conjure a store out of `""`.
 fn effective_cache_dir(flag: Option<&str>) -> Option<String> {
-    flag.map(str::to_string).or_else(|| {
-        std::env::var("BBS_CACHE_DIR")
-            .ok()
-            .filter(|dir| !dir.is_empty())
+    flag.map(str::to_string)
+        .or_else(|| std::env::var("BBS_CACHE_DIR").ok())
+        .filter(|dir| !dir.trim().is_empty())
+}
+
+/// Fault injection from `BBS_TEST_INJECT_PANIC` (`<scenario>:<cap>`, with
+/// `-` as the cap of an unswept solve) — the hook behind the panic-safety
+/// integration tests and CI chaos checks. Unset or empty means none.
+///
+/// # Errors
+///
+/// A malformed spec is an error, not a silent no-op: a chaos check that
+/// believes it injected a fault but did not would pass vacuously.
+fn injected_panic_from_env() -> Result<Option<PanicInjection>, String> {
+    let Some(raw) = std::env::var_os("BBS_TEST_INJECT_PANIC") else {
+        return Ok(None);
+    };
+    // A non-Unicode value is malformed, not unset.
+    let spec = raw
+        .to_str()
+        .ok_or_else(|| format!("BBS_TEST_INJECT_PANIC must be valid Unicode, got {raw:?}"))?;
+    if spec.trim().is_empty() {
+        return Ok(None);
+    }
+    parse_panic_spec(spec).map(Some)
+}
+
+fn parse_panic_spec(spec: &str) -> Result<PanicInjection, String> {
+    let malformed = || format!("BBS_TEST_INJECT_PANIC must be `<scenario>:<cap|->`, got `{spec}`");
+    let (scenario, cap) = spec.rsplit_once(':').ok_or_else(malformed)?;
+    if scenario.is_empty() {
+        return Err(malformed());
+    }
+    let capacity_cap = match cap {
+        "-" => None,
+        cap => Some(cap.parse::<u64>().map_err(|_| malformed())?),
+    };
+    Ok(PanicInjection {
+        scenario: scenario.to_string(),
+        capacity_cap,
     })
 }
 
@@ -175,6 +220,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let settings = RunSettings {
         jobs: args.jobs,
         use_cache: args.use_cache,
+        steal: args.steal,
+        inject_panic: injected_panic_from_env()?,
         ..RunSettings::default()
     };
     // `--no-cache` bypasses both tiers: without the in-memory tier there is
@@ -355,8 +402,68 @@ fn cache(args: &[String]) -> Result<(), String> {
                 "cache directory {dir}: removed {} entries, kept {}",
                 outcome.removed, outcome.kept
             );
+            if outcome.unreadable_mtimes > 0 {
+                println!(
+                    "  {} entries had unreadable mtimes (treated as written now, \
+                     never age-evicted)",
+                    outcome.unreadable_mtimes
+                );
+            }
         }
         _ => unreachable!("validated by parse_cache_args"),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_parse_the_scheduler_flag() {
+        let parsed = parse_run_args(&strings(&["--jobs", "8", "--no-steal"])).unwrap();
+        assert_eq!(parsed.jobs, 8);
+        assert!(!parsed.steal);
+        assert!(parse_run_args(&strings(&["--jobs", "8"])).unwrap().steal);
+    }
+
+    #[test]
+    fn empty_or_whitespace_cache_dirs_are_rejected() {
+        assert!(non_empty_dir(String::new()).is_err());
+        assert!(non_empty_dir("   ".to_string()).is_err());
+        assert!(non_empty_dir("\t\n".to_string()).is_err());
+        assert_eq!(non_empty_dir("dir".to_string()).unwrap(), "dir");
+        // A path with inner whitespace is a real path.
+        assert!(non_empty_dir("my cache".to_string()).is_ok());
+    }
+
+    #[test]
+    fn panic_specs_parse_or_error_loudly() {
+        assert_eq!(
+            parse_panic_spec("fig2a:3").unwrap(),
+            PanicInjection {
+                scenario: "fig2a".to_string(),
+                capacity_cap: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_panic_spec("solo:-").unwrap(),
+            PanicInjection {
+                scenario: "solo".to_string(),
+                capacity_cap: None,
+            }
+        );
+        // Scenario names may contain `:`; the cap is the last segment.
+        assert_eq!(
+            parse_panic_spec("a:b:1").unwrap().scenario,
+            "a:b".to_string()
+        );
+        assert!(parse_panic_spec("no-cap").is_err());
+        assert!(parse_panic_spec(":1").is_err());
+        assert!(parse_panic_spec("name:notanumber").is_err());
+    }
 }

@@ -96,6 +96,19 @@ impl SolveSource {
     }
 }
 
+/// The error recorded for a solve that panicked.
+///
+/// Both the slot poison-fill below and the executor's per-item panic
+/// boundary use this exact constructor, so the claimer of a panicking key
+/// and every waiter blocked on its slot report byte-identical errors — a
+/// panic therefore cannot make reports diverge across `--jobs` settings.
+pub(crate) fn panicked_solve_error() -> MappingError {
+    MappingError::Solver(ConicError::NumericalBreakdown {
+        iteration: 0,
+        detail: "solve panicked".to_string(),
+    })
+}
+
 /// One memoization slot: filled exactly once, awaited by later lookups.
 struct Slot {
     result: Mutex<Option<Result<Mapping, MappingError>>>,
@@ -213,10 +226,7 @@ impl SolveCache {
             let (result, source) = match computed {
                 Ok(computed) => computed,
                 Err(panic) => {
-                    let poison = Err(MappingError::Solver(ConicError::NumericalBreakdown {
-                        iteration: 0,
-                        detail: "solve panicked; see the primary failure".to_string(),
-                    }));
+                    let poison = Err(panicked_solve_error());
                     let mut guard = slot.result.lock().expect("slot lock poisoned");
                     *guard = Some(poison);
                     slot.ready.notify_all();

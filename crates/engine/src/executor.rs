@@ -1,14 +1,27 @@
-//! The parallel batch executor.
+//! The parallel batch executor: a panic-safe work-stealing worker pool.
 //!
 //! A suite expands into a flat list of *work items* — one per (scenario,
-//! sweep point) pair — that a hand-rolled `std::thread` worker pool drains
-//! through the shared [`SolveCache`]. Results are collected into slots
-//! pre-addressed by (scenario index, point index), so the outcome order is
-//! the suite order no matter how the workers interleave; combined with the
-//! cache's deterministic hit/miss accounting this makes the run's report
-//! independent of the worker count.
+//! sweep point) pair. The items are seeded round-robin across per-worker
+//! deques; each worker drains its own deque LIFO and, when it runs dry,
+//! steals FIFO from the other workers' deques (the opposite end, so owner
+//! and thief never contend for the same item). A legacy single shared-queue
+//! scheduler is kept behind [`RunSettings::steal`]` = false` as the
+//! contention baseline for benchmarks.
+//!
+//! Every item executes inside a `catch_unwind` boundary: a panicking solve
+//! becomes an error outcome *on that point* — using the same error the
+//! [`SolveCache`] poison-fills its slot with, so waiters on the panicking
+//! key report identically — and the rest of the suite keeps running. No
+//! queue lock is ever held across a solve, so a panic cannot poison the
+//! scheduler.
+//!
+//! Results are collected into slots pre-addressed by (scenario index, point
+//! index), so the outcome order is the suite order no matter where an item
+//! ran or who stole it; combined with the cache's deterministic hit/miss
+//! accounting this makes the run's report independent of the worker count
+//! and of the steal schedule.
 
-use crate::cache::{CacheKey, CacheStats, SolveCache, SolveSource};
+use crate::cache::{panicked_solve_error, CacheKey, CacheStats, SolveCache, SolveSource};
 use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
 use crate::store::StoreStats;
@@ -19,8 +32,10 @@ use budget_buffer::{
     MappingError, SolveOptions,
 };
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How a suite is executed.
@@ -32,6 +47,29 @@ pub struct RunSettings {
     pub use_cache: bool,
     /// Firings per task when a scenario requests simulator validation.
     pub simulation_iterations: usize,
+    /// Schedule work over sharded per-worker deques with work stealing
+    /// (the default). `false` falls back to the single shared-queue
+    /// scheduler — kept as the contention baseline for benchmarks and for
+    /// strictly FIFO execution order. Both schedulers produce byte-identical
+    /// reports.
+    pub steal: bool,
+    /// Fault injection for tests and CI chaos checks: the addressed point
+    /// panics while executing (before its cache lookup, so the fault fires
+    /// deterministically regardless of slot-claim races). An injection that
+    /// matches no point of the suite is an error, never a silent no-op.
+    /// `None` (the default) injects nothing.
+    pub inject_panic: Option<PanicInjection>,
+}
+
+/// Selects one work item for fault injection (see
+/// [`RunSettings::inject_panic`]): the point of scenario `scenario` whose
+/// capacity cap is `capacity_cap` panics while executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Name of the scenario to fault.
+    pub scenario: String,
+    /// Capacity cap of the sweep point to fault (`None` for single solves).
+    pub capacity_cap: Option<u64>,
 }
 
 impl Default for RunSettings {
@@ -40,6 +78,8 @@ impl Default for RunSettings {
             jobs: 1,
             use_cache: true,
             simulation_iterations: 256,
+            steal: true,
+            inject_panic: None,
         }
     }
 }
@@ -114,6 +154,27 @@ impl ScenarioOutcome {
     }
 }
 
+/// Scheduler counters of one run: how work items moved between workers,
+/// not what they computed. Steal counts depend on thread timing, so these
+/// are printed with the timing summary and deliberately kept out of the
+/// deterministic [`SuiteReport`](crate::SuiteReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker threads the pool actually spawned (after clamping `jobs` to
+    /// the number of work items).
+    pub workers: u64,
+    /// Whether the work-stealing scheduler was used (`false`: the shared
+    /// queue).
+    pub stealing: bool,
+    /// Items a worker popped from its own deque (shared-queue mode counts
+    /// every pop here).
+    pub local_pops: u64,
+    /// Items taken from another worker's deque.
+    pub steals: u64,
+    /// Panicking items converted to per-point error outcomes.
+    pub caught_panics: u64,
+}
+
 /// The outcome of a full suite run.
 #[derive(Debug, Clone)]
 pub struct SuiteOutcome {
@@ -128,6 +189,8 @@ pub struct SuiteOutcome {
     /// Counters of the persistent disk tier, when the cache carries one
     /// (see [`SolveCache::with_store`]).
     pub store: Option<StoreStats>,
+    /// Scheduler counters of the run.
+    pub executor: ExecutorStats,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
 }
@@ -186,6 +249,53 @@ struct WorkItem {
     simulate: bool,
 }
 
+/// Live counters shared by all workers of one pool.
+#[derive(Default)]
+struct PoolCounters {
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    caught_panics: AtomicU64,
+}
+
+/// Locks a deque, recovering from poisoning: the panic boundary sits around
+/// [`execute_item`], so no lock is ever held across code that can panic —
+/// but if one ever *were* poisoned, the deque data is still consistent
+/// (every operation is a single pop or push) and abandoning the whole run
+/// over it would be strictly worse.
+fn lock_deque(deque: &Mutex<VecDeque<WorkItem>>) -> MutexGuard<'_, VecDeque<WorkItem>> {
+    deque.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Executes `item` behind the panic boundary: a panicking solve (or
+/// simulation) becomes an error outcome on this point, with the same error
+/// the cache poison-fills its slot with (see
+/// [`panicked_solve_error`](crate::cache)), so the claimer and every waiter
+/// of a panicking key report identically regardless of which of them this
+/// item happened to be.
+fn execute_guarded(
+    item: &WorkItem,
+    cache: &SolveCache,
+    settings: &RunSettings,
+    counters: &PoolCounters,
+    inject: bool,
+) -> PointOutcome {
+    match catch_unwind(AssertUnwindSafe(|| {
+        execute_item(item, cache, settings, inject)
+    })) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            counters.caught_panics.fetch_add(1, Ordering::Relaxed);
+            PointOutcome {
+                capacity_cap: item.capacity_cap,
+                result: Err(panicked_solve_error()),
+                solve_time: Duration::ZERO,
+                source: SolveSource::Fresh,
+                simulation: None,
+            }
+        }
+    }
+}
+
 /// Runs a whole suite with a fresh solve cache.
 ///
 /// # Errors
@@ -218,7 +328,10 @@ pub fn run_suite_with_cache(
         EngineError::InvalidScenario(format!("scenario `{name}`: {e}"))
     };
     let mut resolved = Vec::new();
-    let mut items = VecDeque::new();
+    let mut items = Vec::new();
+    // The injected fault resolved to slot coordinates, so workers compare
+    // two indices instead of a per-item scenario-name clone.
+    let mut injection_target: Option<(usize, usize)> = None;
     for (scenario_index, scenario) in suite.scenarios.iter().enumerate() {
         let configuration = scenario
             .workload
@@ -242,7 +355,12 @@ pub fn run_suite_with_cache(
                 Some(cap) => with_capacity_cap(&configuration, *cap),
                 None => configuration.clone(),
             };
-            items.push_back(WorkItem {
+            if settings.inject_panic.as_ref().is_some_and(|injection| {
+                injection.scenario == scenario.name && injection.capacity_cap == *cap
+            }) {
+                injection_target = Some((scenario_index, point_index));
+            }
+            items.push(WorkItem {
                 scenario_index,
                 point_index,
                 capacity_cap: *cap,
@@ -255,20 +373,77 @@ pub fn run_suite_with_cache(
         resolved.push((scenario.clone(), configuration, flow, options, caps.len()));
     }
 
+    // A requested fault that addresses no point would make every chaos
+    // check pass vacuously — refuse it instead of silently not injecting.
+    if let Some(injection) = &settings.inject_panic {
+        if injection_target.is_none() {
+            return Err(EngineError::InvalidInput(format!(
+                "inject_panic matches no work item: scenario `{}` has no point with capacity \
+                 cap {:?}",
+                injection.scenario, injection.capacity_cap
+            )));
+        }
+    }
+
     let total_items = items.len();
-    let queue = Mutex::new(items);
-    let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
     let jobs = settings.jobs.max(1).min(total_items.max(1));
 
+    // Shard the items across per-worker deques, round-robin in suite order.
+    // Each shard is seeded *in reverse*, so the owner's LIFO `pop_back`
+    // walks its share in suite order (with `--jobs 1` the whole suite runs
+    // front to back, exactly like the shared queue), while thieves steal
+    // with `pop_front` — the opposite end, which holds the items the owner
+    // would reach last. With stealing disabled everything lands in one
+    // shared FIFO deque instead.
+    let shards: Vec<Mutex<VecDeque<WorkItem>>> = if settings.steal {
+        let mut deques: Vec<VecDeque<WorkItem>> = (0..jobs).map(|_| VecDeque::new()).collect();
+        for (index, item) in items.into_iter().enumerate().rev() {
+            deques[index % jobs].push_back(item);
+        }
+        deques.into_iter().map(Mutex::new).collect()
+    } else {
+        vec![Mutex::new(items.into_iter().collect())]
+    };
+    let counters = PoolCounters::default();
+    let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
+
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let queue = &queue;
+        for worker in 0..jobs {
+            let shards = &shards;
+            let counters = &counters;
             let sender = sender.clone();
             scope.spawn(move || {
+                let home = worker.min(shards.len() - 1);
                 loop {
-                    let item = queue.lock().expect("queue lock poisoned").pop_front();
+                    // LIFO local pop in stealing mode, FIFO on the shared
+                    // queue (one shard: preserve submission order).
+                    let local = if settings.steal {
+                        lock_deque(&shards[home]).pop_back()
+                    } else {
+                        lock_deque(&shards[home]).pop_front()
+                    };
+                    let item = match local {
+                        Some(item) => {
+                            counters.local_pops.fetch_add(1, Ordering::Relaxed);
+                            Some(item)
+                        }
+                        None if settings.steal => {
+                            // FIFO steal, walking the victims in ring order
+                            // from our own shard so thieves spread out.
+                            (1..shards.len())
+                                .map(|offset| (home + offset) % shards.len())
+                                .find_map(|victim| lock_deque(&shards[victim]).pop_front())
+                                .inspect(|_| {
+                                    counters.steals.fetch_add(1, Ordering::Relaxed);
+                                })
+                        }
+                        None => None,
+                    };
+                    // Items are never re-queued, so empty-everywhere means
+                    // the suite is drained and the worker can retire.
                     let Some(item) = item else { break };
-                    let outcome = execute_item(&item, cache, settings);
+                    let inject = injection_target == Some((item.scenario_index, item.point_index));
+                    let outcome = execute_guarded(&item, cache, settings, counters, inject);
                     // The receiver lives until every sender hung up; a send
                     // failure means the main thread panicked already.
                     let _ = sender.send((item.scenario_index, item.point_index, outcome));
@@ -318,6 +493,13 @@ pub fn run_suite_with_cache(
                 .use_cache
                 .then(|| cache.store().map(|store| store.stats()))
                 .flatten(),
+            executor: ExecutorStats {
+                workers: jobs as u64,
+                stealing: settings.steal,
+                local_pops: counters.local_pops.load(Ordering::Relaxed),
+                steals: counters.steals.load(Ordering::Relaxed),
+                caught_panics: counters.caught_panics.load(Ordering::Relaxed),
+            },
             wall_time: start.elapsed(),
         })
     })
@@ -341,7 +523,25 @@ pub fn run_scenario(
         .expect("one scenario in, one outcome out"))
 }
 
-fn execute_item(item: &WorkItem, cache: &SolveCache, settings: &RunSettings) -> PointOutcome {
+fn execute_item(
+    item: &WorkItem,
+    cache: &SolveCache,
+    settings: &RunSettings,
+    inject: bool,
+) -> PointOutcome {
+    if inject {
+        // Deliberately *before* the cache lookup: a fault inside the solve
+        // closure would only fire if this point happened to be the slot
+        // claimer, making the faulted outcome race-dependent. Here the
+        // addressed point always panics — and nothing else does — so
+        // injected-fault reports stay `--jobs`-deterministic. (The
+        // claimer-panic path through the cache's slot poison-fill is
+        // unit-covered in `cache::tests`.)
+        panic!(
+            "injected panic: scenario index {}, cap {:?}",
+            item.scenario_index, item.capacity_cap
+        );
+    }
     // Timed inside the closure so that a cache hit — including one that
     // blocks waiting for another worker's in-flight solve — reports zero
     // solver work instead of double-counting the shared solve.
@@ -589,6 +789,7 @@ mod tests {
             cache: CacheStats { hits: 0, misses: 0 },
             cache_enabled: true,
             store: None,
+            executor: ExecutorStats::default(),
             wall_time: Duration::ZERO,
         };
         let failures = outcome.unexpected_failures();
@@ -616,6 +817,168 @@ mod tests {
         let suite = Suite::new("s", vec![scenario]);
         let suite_outcome = run_suite(&suite, &RunSettings::default()).unwrap();
         assert!(suite_outcome.unexpected_failures().is_empty());
+    }
+
+    /// Regression test for the poisoned-queue abort: before the rewrite a
+    /// panicking solve poisoned the shared queue mutex and the next pop's
+    /// `expect("queue lock poisoned")` took the whole run down. Now the
+    /// panicking point reports a per-point error and every other point
+    /// still solves.
+    #[test]
+    fn panicking_solve_is_a_per_point_error_not_an_abort() {
+        let suite = Suite::new(
+            "faulted",
+            vec![pc_sweep_scenario("a"), pc_sweep_scenario("b")],
+        );
+        let settings = RunSettings {
+            jobs: 4,
+            inject_panic: Some(PanicInjection {
+                scenario: "a".to_string(),
+                capacity_cap: Some(3),
+            }),
+            ..RunSettings::default()
+        };
+        let outcome = run_suite(&suite, &settings).unwrap();
+        assert_eq!(outcome.executor.caught_panics, 1);
+        for scenario in &outcome.scenarios {
+            for point in &scenario.points {
+                if scenario.scenario.name == "a" && point.capacity_cap == Some(3) {
+                    let error = point.result.as_ref().unwrap_err().to_string();
+                    assert!(error.contains("panicked"), "unexpected error: {error}");
+                } else {
+                    assert!(point.result.is_ok(), "other points must still solve");
+                }
+            }
+        }
+        // The panic is a solver breakdown, so it must surface as an
+        // unexpected failure (and fail `bbs run`), never hide.
+        assert_eq!(outcome.unexpected_failures().len(), 1);
+    }
+
+    #[test]
+    fn panicking_solve_keeps_reports_jobs_deterministic() {
+        let suite = Suite::new(
+            "faulted",
+            vec![pc_sweep_scenario("a"), pc_sweep_scenario("b")],
+        );
+        let report = |jobs: usize, steal: bool| {
+            let settings = RunSettings {
+                jobs,
+                steal,
+                inject_panic: Some(PanicInjection {
+                    scenario: "b".to_string(),
+                    capacity_cap: Some(2),
+                }),
+                ..RunSettings::default()
+            };
+            crate::SuiteReport::from_outcome(&run_suite(&suite, &settings).unwrap()).to_json()
+        };
+        let baseline = report(1, true);
+        assert_eq!(baseline, report(8, true));
+        assert_eq!(baseline, report(8, false), "shared queue must agree too");
+    }
+
+    #[test]
+    fn injection_matching_no_point_is_refused() {
+        // A typo'd scenario or out-of-sweep cap must error, not silently
+        // inject nothing and let a chaos check pass vacuously.
+        for (scenario, cap) in [("nope", Some(3)), ("a", Some(99)), ("a", None)] {
+            let settings = RunSettings {
+                inject_panic: Some(PanicInjection {
+                    scenario: scenario.to_string(),
+                    capacity_cap: cap,
+                }),
+                ..RunSettings::default()
+            };
+            let error = run_scenario(&pc_sweep_scenario("a"), &settings).unwrap_err();
+            assert!(
+                error
+                    .to_string()
+                    .contains("inject_panic matches no work item"),
+                "unexpected error: {error}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncached_panicking_solve_is_caught_too() {
+        let settings = RunSettings {
+            use_cache: false,
+            jobs: 2,
+            inject_panic: Some(PanicInjection {
+                scenario: "raw".to_string(),
+                capacity_cap: Some(1),
+            }),
+            ..RunSettings::default()
+        };
+        let outcome = run_scenario(&pc_sweep_scenario("raw"), &settings).unwrap();
+        assert!(outcome.points[0].result.is_err());
+        assert!(outcome.points[1..].iter().all(|p| p.result.is_ok()));
+    }
+
+    #[test]
+    fn shared_queue_scheduler_matches_work_stealing() {
+        let suite = Suite::new(
+            "modes",
+            vec![pc_sweep_scenario("a"), pc_sweep_scenario("b")],
+        );
+        let json = |steal: bool| {
+            let settings = RunSettings {
+                jobs: 8,
+                steal,
+                ..RunSettings::default()
+            };
+            let outcome = run_suite(&suite, &settings).unwrap();
+            assert_eq!(outcome.executor.stealing, steal);
+            assert_eq!(
+                outcome.executor.local_pops + outcome.executor.steals,
+                12,
+                "every item is popped exactly once"
+            );
+            if !steal {
+                assert_eq!(outcome.executor.steals, 0);
+            }
+            crate::SuiteReport::from_outcome(&outcome).to_json()
+        };
+        assert_eq!(json(true), json(false));
+    }
+
+    #[test]
+    fn single_worker_executes_in_suite_order() {
+        // With one worker the LIFO shard is seeded in reverse, so the pool
+        // walks the suite front to back: the first scenario claims every
+        // key and the second one hits memory — the user-visible order a
+        // sequential run has always had.
+        let suite = Suite::new(
+            "order",
+            vec![pc_sweep_scenario("first"), pc_sweep_scenario("second")],
+        );
+        let outcome = run_suite(&suite, &RunSettings::default()).unwrap();
+        assert!(outcome.scenarios[0]
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Fresh));
+        assert!(outcome.scenarios[1]
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Memory));
+    }
+
+    #[test]
+    fn oversubscribed_pool_steals_and_stays_deterministic() {
+        // More workers than a single scenario's share forces idle workers
+        // to steal; 16 workers over 24 items across two scenarios.
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| pc_sweep_scenario(&format!("s{i}")))
+            .collect();
+        let suite = Suite::new("oversub", scenarios);
+        let sequential = run_suite(&suite, &RunSettings::with_jobs(1)).unwrap();
+        let parallel = run_suite(&suite, &RunSettings::with_jobs(16)).unwrap();
+        assert_eq!(
+            crate::SuiteReport::from_outcome(&sequential).to_json(),
+            crate::SuiteReport::from_outcome(&parallel).to_json()
+        );
+        assert_eq!(parallel.executor.workers, 16);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!   is a named batch of scenarios. Both live in JSON files.
 //! * [`suites`] — the built-in suites: `paper` (the six experiments of the
 //!   paper), `paper-plus` (plus the cyclic `ring` experiment) and `smoke`.
-//! * [`executor`] — a hand-rolled `std::thread` worker pool that fans the
-//!   (scenario × sweep-point) work items out across `--jobs N` workers with
-//!   deterministic result ordering.
+//! * [`executor`] — a panic-safe work-stealing `std::thread` worker pool
+//!   that fans the (scenario × sweep-point) work items out across `--jobs N`
+//!   per-worker deques (LIFO local pop, FIFO steal) with deterministic
+//!   result ordering; a panicking solve becomes a per-point error, never a
+//!   dead run.
 //! * [`cache`] — memoization of solves keyed by a canonical hash of
 //!   (configuration, options, flow), with deterministic hit/miss counters.
 //! * [`store`] — the persistent tier below the in-memory cache: a
@@ -65,12 +67,14 @@ pub mod suites;
 pub use cache::{CacheKey, CacheStats, SolveCache, SolveSource};
 pub use error::EngineError;
 pub use executor::{
-    run_scenario, run_suite, run_suite_with_cache, PointOutcome, RunSettings, ScenarioOutcome,
-    SuiteOutcome,
+    run_scenario, run_suite, run_suite_with_cache, ExecutorStats, PanicInjection, PointOutcome,
+    RunSettings, ScenarioOutcome, SuiteOutcome,
 };
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
-pub use store::{GcOutcome, GcPolicy, SolveStore, StoreStats, StoreSummary, STORE_SCHEMA_VERSION};
+pub use store::{
+    GcOutcome, GcPolicy, SolveStore, StoreEntry, StoreStats, StoreSummary, STORE_SCHEMA_VERSION,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -133,6 +133,27 @@ pub struct GcOutcome {
     pub removed: u64,
     /// Entry files kept.
     pub kept: u64,
+    /// Entries whose modification time the filesystem could not report.
+    /// They are treated as written *now* — never age-evicted — instead of
+    /// as infinitely old, which on such filesystems would make a
+    /// `--max-age` pass wipe the entire store.
+    pub unreadable_mtimes: u64,
+}
+
+/// One entry file as seen by a [`SolveStore::entries`] scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Path of the entry file.
+    pub path: PathBuf,
+    /// Last-modified time; the scan time when the filesystem cannot report
+    /// one (see [`StoreEntry::mtime_readable`]).
+    pub modified: SystemTime,
+    /// Whether the filesystem reported a modification time. Entries without
+    /// one sort as the newest files of the scan and are exempt from
+    /// age-based eviction.
+    pub mtime_readable: bool,
+    /// File size in bytes.
+    pub bytes: u64,
 }
 
 /// One entry file: the full canonical key (collision guard) plus exactly one
@@ -382,16 +403,19 @@ impl SolveStore {
         version_dir(&self.root).join(&hex[..2]).join(hex + ".json")
     }
 
-    /// Every entry file of the current schema version, as
-    /// `(path, modified, bytes)` sorted oldest-first (ties broken by path so
-    /// GC is deterministic). Files that vanish mid-scan — a concurrent
-    /// `gc`/`clear` — are skipped, not errors.
+    /// Every entry file of the current schema version, sorted oldest-first
+    /// (ties broken by path so GC is deterministic regardless of readdir
+    /// order). Entries whose mtime the filesystem cannot report are stamped
+    /// with the scan time — i.e. as the newest files present — so retention
+    /// policies never mistake them for infinitely old. Files that vanish
+    /// mid-scan — a concurrent `gc`/`clear` — are skipped, not errors.
     ///
     /// # Errors
     ///
     /// Returns the underlying [`io::Error`] when the directory tree cannot
     /// be read.
-    pub fn entries(&self) -> io::Result<Vec<(PathBuf, SystemTime, u64)>> {
+    pub fn entries(&self) -> io::Result<Vec<StoreEntry>> {
+        let scan_time = SystemTime::now();
         let mut entries = Vec::new();
         let version = version_dir(&self.root);
         // A missing version directory is an empty store (e.g. cleared by a
@@ -422,11 +446,23 @@ impl SolveStore {
                     Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
                     Err(e) => return Err(e),
                 };
-                let modified = metadata.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-                entries.push((path, modified, metadata.len()));
+                let (modified, mtime_readable) = match metadata.modified() {
+                    Ok(modified) => (modified, true),
+                    Err(_) => (scan_time, false),
+                };
+                entries.push(StoreEntry {
+                    path,
+                    modified,
+                    mtime_readable,
+                    bytes: metadata.len(),
+                });
             }
         }
-        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| {
+            a.modified
+                .cmp(&b.modified)
+                .then_with(|| a.path.cmp(&b.path))
+        });
         Ok(entries)
     }
 
@@ -438,7 +474,7 @@ impl SolveStore {
     /// be read.
     pub fn summary(&self) -> io::Result<StoreSummary> {
         let mut summary = StoreSummary::default();
-        for (path, _, bytes) in self.entries()? {
+        for StoreEntry { path, bytes, .. } in self.entries()? {
             summary.total_bytes += bytes;
             let parsed = fs::read_to_string(&path)
                 .ok()
@@ -492,7 +528,9 @@ impl SolveStore {
     }
 
     /// Applies a retention policy: first drops entries older than
-    /// `max_age`, then — oldest first — drops entries beyond `max_entries`.
+    /// `max_age` (entries with unreadable mtimes are exempt — they count as
+    /// written now), then — oldest first — drops entries beyond
+    /// `max_entries`.
     ///
     /// # Errors
     ///
@@ -501,31 +539,50 @@ impl SolveStore {
     /// concurrent run may have removed or replaced the file already).
     pub fn gc(&self, policy: GcPolicy) -> io::Result<GcOutcome> {
         let entries = self.entries()?;
-        let now = SystemTime::now();
-        let mut keep: Vec<&(PathBuf, SystemTime, u64)> = Vec::new();
-        let mut outcome = GcOutcome::default();
-        for entry in &entries {
-            let age = now.duration_since(entry.1).unwrap_or(Duration::ZERO);
-            if policy.max_age.is_some_and(|limit| age > limit) {
-                if fs::remove_file(&entry.0).is_ok() {
-                    outcome.removed += 1;
-                }
-            } else {
-                keep.push(entry);
+        let (remove, mut outcome) = plan_gc(&entries, policy, SystemTime::now());
+        for path in remove {
+            if fs::remove_file(path).is_ok() {
+                outcome.removed += 1;
             }
         }
-        if let Some(max_entries) = policy.max_entries {
-            // `keep` is oldest-first, so the excess head is the oldest.
-            let excess = keep.len().saturating_sub(max_entries as usize);
-            for entry in keep.drain(..excess) {
-                if fs::remove_file(&entry.0).is_ok() {
-                    outcome.removed += 1;
-                }
-            }
-        }
-        outcome.kept = keep.len() as u64;
         Ok(outcome)
     }
+}
+
+/// The pure retention decision behind [`SolveStore::gc`]: which of the
+/// scanned `entries` (oldest-first, as [`SolveStore::entries`] returns
+/// them) to remove under `policy` at time `now`. Returns the doomed paths
+/// and the outcome with `removed` still zero (the caller counts actual
+/// deletions). Split out so eviction order — including mtime ties and
+/// unreadable mtimes — is testable without manipulating a filesystem.
+fn plan_gc(
+    entries: &[StoreEntry],
+    policy: GcPolicy,
+    now: SystemTime,
+) -> (Vec<&PathBuf>, GcOutcome) {
+    let mut keep: Vec<&StoreEntry> = Vec::new();
+    let mut remove: Vec<&PathBuf> = Vec::new();
+    let mut outcome = GcOutcome::default();
+    for entry in entries {
+        if !entry.mtime_readable {
+            outcome.unreadable_mtimes += 1;
+        }
+        let age = now.duration_since(entry.modified).unwrap_or(Duration::ZERO);
+        // An unreadable mtime counts as "written now": exempt from age
+        // eviction instead of looking infinitely old and wiping the store.
+        if entry.mtime_readable && policy.max_age.is_some_and(|limit| age > limit) {
+            remove.push(&entry.path);
+        } else {
+            keep.push(entry);
+        }
+    }
+    if let Some(max_entries) = policy.max_entries {
+        // `keep` is oldest-first, so the excess head is the oldest.
+        let excess = keep.len().saturating_sub(max_entries as usize);
+        remove.extend(keep.drain(..excess).map(|entry| &entry.path));
+    }
+    outcome.kept = keep.len() as u64;
+    (remove, outcome)
 }
 
 /// The content address of a key: FNV-1a over the full canonical identity.
@@ -884,6 +941,116 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.removed, 2);
         assert_eq!(store.summary().unwrap().entries, 0);
+    }
+
+    fn synthetic_entry(name: &str, age: Duration, now: SystemTime, readable: bool) -> StoreEntry {
+        StoreEntry {
+            path: PathBuf::from(name),
+            modified: now.checked_sub(age).unwrap(),
+            mtime_readable: readable,
+            bytes: 1,
+        }
+    }
+
+    #[test]
+    fn gc_never_age_evicts_unreadable_mtimes() {
+        // Regression: unreadable mtimes used to decay to UNIX_EPOCH, so on
+        // a filesystem without mtimes `gc --max-age` wiped every entry.
+        let now = SystemTime::now();
+        let entries = vec![
+            synthetic_entry("a-old", Duration::from_secs(100), now, true),
+            // As `entries()` builds them: stamped with the scan time.
+            synthetic_entry("b-unreadable", Duration::ZERO, now, false),
+            synthetic_entry("c-fresh", Duration::from_secs(1), now, true),
+        ];
+        let policy = GcPolicy {
+            max_entries: None,
+            max_age: Some(Duration::from_secs(10)),
+        };
+        let (remove, outcome) = plan_gc(&entries, policy, now);
+        assert_eq!(remove, vec![&PathBuf::from("a-old")]);
+        assert_eq!(outcome.kept, 2);
+        assert_eq!(outcome.unreadable_mtimes, 1);
+        assert_eq!(outcome.removed, 0, "the caller counts actual deletions");
+    }
+
+    #[test]
+    fn gc_max_entries_still_bounds_unreadable_mtimes() {
+        // The age exemption must not make unreadable entries immortal: a
+        // size cap still applies to them (oldest-sorted-first as scanned).
+        let now = SystemTime::now();
+        let entries: Vec<StoreEntry> = (0..3)
+            .map(|i| synthetic_entry(&format!("u{i}"), Duration::ZERO, now, false))
+            .collect();
+        let policy = GcPolicy {
+            max_entries: Some(1),
+            max_age: Some(Duration::from_secs(10)),
+        };
+        let (remove, outcome) = plan_gc(&entries, policy, now);
+        assert_eq!(remove, vec![&PathBuf::from("u0"), &PathBuf::from("u1")]);
+        assert_eq!(outcome.kept, 1);
+        assert_eq!(outcome.unreadable_mtimes, 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        // Entries with identical mtimes must evict in deterministic path
+        // order no matter the order the files were created (and hence the
+        // readdir order a scan might observe).
+        #[test]
+        fn gc_breaks_mtime_ties_by_path_regardless_of_creation_order(seed in 0u64..1_000_000) {
+            let directory = TempDir::new("gc-ties");
+            let store = SolveStore::open(directory.path()).unwrap();
+            let base = producer_consumer(PaperParameters::default(), None);
+            let options = SolveOptions::default().prefer_budget_minimisation();
+
+            // Shuffle the creation order with a splitmix-style permutation.
+            let mut caps: Vec<u64> = (1..=6).collect();
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            for i in (1..caps.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                caps.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            for &cap in &caps {
+                let configuration = with_capacity_cap(&base, cap);
+                let key = CacheKey::new(&configuration, &options, "joint");
+                store.save(&key, &compute_mapping(&configuration, &options));
+            }
+
+            // Force a full mtime tie across every entry.
+            let tie = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000);
+            let scanned = store.entries().unwrap();
+            proptest::prop_assert_eq!(scanned.len(), 6);
+            for entry in &scanned {
+                fs::File::options()
+                    .write(true)
+                    .open(&entry.path)
+                    .unwrap()
+                    .set_modified(tie)
+                    .unwrap();
+            }
+
+            let mut all_paths: Vec<PathBuf> =
+                scanned.into_iter().map(|entry| entry.path).collect();
+            all_paths.sort();
+            let outcome = store
+                .gc(GcPolicy { max_entries: Some(3), max_age: None })
+                .unwrap();
+            proptest::prop_assert_eq!(outcome.removed, 3);
+            proptest::prop_assert_eq!(outcome.kept, 3);
+            let survivors: Vec<PathBuf> = store
+                .entries()
+                .unwrap()
+                .into_iter()
+                .map(|entry| entry.path)
+                .collect();
+            // Tied entries evict in path order: the lexicographically first
+            // half goes, the rest survive — independent of `seed`.
+            proptest::prop_assert_eq!(&survivors[..], &all_paths[3..]);
+        }
     }
 
     #[test]

@@ -21,11 +21,29 @@ fn report_json(suite: &Suite, settings: &RunSettings) -> String {
 fn reports_are_byte_identical_across_worker_counts() {
     let suite = smoke_suite();
     let sequential = report_json(&suite, &RunSettings::with_jobs(1));
-    let parallel = report_json(&suite, &RunSettings::with_jobs(8));
-    assert_eq!(
-        sequential, parallel,
-        "JSON reports must not depend on --jobs"
+    for jobs in [2, 8, 16] {
+        assert_eq!(
+            sequential,
+            report_json(&suite, &RunSettings::with_jobs(jobs)),
+            "JSON reports must not depend on --jobs (jobs={jobs})"
+        );
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_schedulers() {
+    // Steals move work between workers but never reorder results: the
+    // work-stealing pool and the shared-queue baseline agree byte for byte.
+    let suite = smoke_suite();
+    let stealing = report_json(&suite, &RunSettings::with_jobs(8));
+    let shared = report_json(
+        &suite,
+        &RunSettings {
+            steal: false,
+            ..RunSettings::with_jobs(8)
+        },
     );
+    assert_eq!(stealing, shared);
 }
 
 #[test]

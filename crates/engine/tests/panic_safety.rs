@@ -1,0 +1,242 @@
+//! Panic safety and scheduler integration tests, driven through the real
+//! `bbs` binary (`CARGO_BIN_EXE_bbs`).
+//!
+//! The contract under test: a panicking solve is a *per-point* error — the
+//! run completes, every other point solves, the report stays schema-valid
+//! and `--jobs`-deterministic — and the process exits non-zero because a
+//! panic is an unexpected failure, never an expected infeasibility. Before
+//! the work-stealing rewrite a single panic poisoned the shared queue mutex
+//! and aborted the whole suite.
+
+use bbs_engine::SuiteReport;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A unique, self-cleaning scratch directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "bbs-panic-it-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("scratch directory");
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the real `bbs` binary without asserting on its exit status.
+fn bbs_raw(args: &[&str], env: &[(&str, &str)], cwd: Option<&Path>) -> Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_bbs"));
+    command.args(args);
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    if let Some(cwd) = cwd {
+        command.current_dir(cwd);
+    }
+    command.output().expect("bbs binary runs")
+}
+
+#[test]
+fn injected_panic_is_a_per_point_error_not_an_abort() {
+    let directory = TempDir::new("inject");
+    let report_path = directory.path().join("faulted.json");
+    let output = bbs_raw(
+        &[
+            "run",
+            "--suite",
+            "smoke",
+            "--jobs",
+            "4",
+            "--json",
+            report_path.to_str().unwrap(),
+            "--quiet",
+        ],
+        &[("BBS_TEST_INJECT_PANIC", "smoke-pc:2")],
+        None,
+    );
+    // The run completes and reports the panic as an unexpected failure.
+    assert!(
+        !output.status.success(),
+        "a panicked point is an unexpected failure"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unexpected failures") && stderr.contains("smoke-pc cap 2"),
+        "stderr: {stderr}"
+    );
+
+    // The report was still written, is schema-valid, and localises the
+    // fault to exactly the addressed point.
+    let report = SuiteReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    for scenario in &report.scenarios {
+        for point in &scenario.points {
+            if scenario.scenario == "smoke-pc" && point.capacity_cap == Some(2) {
+                assert!(!point.feasible);
+                let error = point.error.as_deref().unwrap();
+                assert!(error.contains("panicked"), "error: {error}");
+            } else {
+                assert!(
+                    point.feasible,
+                    "{} cap {:?} must still solve",
+                    scenario.scenario, point.capacity_cap
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_reports_stay_jobs_deterministic() {
+    let directory = TempDir::new("inject-jobs");
+    let mut reports = Vec::new();
+    for (label, jobs, steal) in [("j1", "1", true), ("j16", "16", true), ("sq", "16", false)] {
+        let path = directory.path().join(format!("{label}.json"));
+        let mut args = vec![
+            "run",
+            "--suite",
+            "smoke",
+            "--jobs",
+            jobs,
+            "--json",
+            path.to_str().unwrap(),
+            "--quiet",
+        ];
+        if !steal {
+            args.push("--no-steal");
+        }
+        let output = bbs_raw(&args, &[("BBS_TEST_INJECT_PANIC", "smoke-chain:6")], None);
+        assert!(!output.status.success());
+        reports.push(fs::read_to_string(&path).unwrap());
+    }
+    assert_eq!(reports[0], reports[1], "jobs 1 vs 16 under a panic");
+    assert_eq!(reports[0], reports[2], "work-stealing vs shared queue");
+}
+
+#[test]
+fn malformed_panic_spec_fails_loudly() {
+    let output = bbs_raw(
+        &["run", "--suite", "smoke", "--quiet"],
+        &[("BBS_TEST_INJECT_PANIC", "missing-a-cap")],
+        None,
+    );
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("BBS_TEST_INJECT_PANIC"));
+}
+
+#[test]
+fn panic_spec_matching_no_point_fails_loudly() {
+    // A well-formed spec that addresses a nonexistent point must error,
+    // not run the suite cleanly and let the chaos check pass vacuously.
+    for spec in ["no-such-scenario:1", "smoke-pc:99", "smoke-pc:-"] {
+        let output = bbs_raw(
+            &["run", "--suite", "smoke", "--quiet"],
+            &[("BBS_TEST_INJECT_PANIC", spec)],
+            None,
+        );
+        assert!(!output.status.success(), "spec {spec} must fail");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("matches no work item"),
+            "spec {spec} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}
+
+#[test]
+fn blank_cache_env_behaves_like_unset() {
+    // `BBS_CACHE_DIR=""` (an unset shell variable) and whitespace-only
+    // values must not be taken as real paths: the run uses no store and
+    // creates nothing in the working directory.
+    for blank in ["", "   ", "\t"] {
+        let cwd = TempDir::new("blank-env");
+        let output = bbs_raw(
+            &["run", "--suite", "smoke", "--quiet"],
+            &[("BBS_CACHE_DIR", blank)],
+            Some(cwd.path()),
+        );
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            !stdout.contains("store:"),
+            "no store tier may be attached: {stdout}"
+        );
+        let leftovers: Vec<_> = fs::read_dir(cwd.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "a blank BBS_CACHE_DIR={blank:?} materialised {leftovers:?}"
+        );
+
+        // Management commands agree: a blank env var means *no* directory.
+        let stats = bbs_raw(
+            &["cache", "stats"],
+            &[("BBS_CACHE_DIR", blank)],
+            Some(cwd.path()),
+        );
+        assert!(!stats.status.success());
+        assert!(String::from_utf8_lossy(&stats.stderr).contains("no cache directory"));
+    }
+}
+
+#[test]
+fn scheduler_modes_report_identically_and_say_so() {
+    let directory = TempDir::new("modes");
+    let steal_path = directory.path().join("steal.json");
+    let shared_path = directory.path().join("shared.json");
+    let steal = bbs_raw(
+        &[
+            "run",
+            "--suite",
+            "smoke",
+            "--jobs",
+            "4",
+            "--json",
+            steal_path.to_str().unwrap(),
+        ],
+        &[],
+        None,
+    );
+    let shared = bbs_raw(
+        &[
+            "run",
+            "--suite",
+            "smoke",
+            "--jobs",
+            "4",
+            "--no-steal",
+            "--json",
+            shared_path.to_str().unwrap(),
+        ],
+        &[],
+        None,
+    );
+    assert!(steal.status.success() && shared.status.success());
+    assert!(String::from_utf8_lossy(&steal.stdout).contains("work-stealing"));
+    assert!(String::from_utf8_lossy(&shared.stdout).contains("shared queue"));
+    assert_eq!(
+        fs::read_to_string(&steal_path).unwrap(),
+        fs::read_to_string(&shared_path).unwrap()
+    );
+}

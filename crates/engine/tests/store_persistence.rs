@@ -120,10 +120,10 @@ fn corrupt_and_foreign_version_entries_fall_back_to_fresh_solves() {
     // Garble one entry and stamp another with a foreign schema version.
     let entries = cache.store().unwrap().entries().unwrap();
     assert_eq!(entries.len() as u64, stored);
-    fs::write(&entries[0].0, "{truncated garbage").unwrap();
-    let text = fs::read_to_string(&entries[1].0).unwrap();
+    fs::write(&entries[0].path, "{truncated garbage").unwrap();
+    let text = fs::read_to_string(&entries[1].path).unwrap();
     fs::write(
-        &entries[1].0,
+        &entries[1].path,
         text.replace("\"schema\":1", "\"schema\":999"),
     )
     .unwrap();
