@@ -14,10 +14,13 @@
 //! solver time. A cold-cache group with distinct keys per scenario batch is
 //! included so the stealing pool is also exercised under real solve load.
 
-use bbs_engine::{run_suite, RunSettings, Scenario, Suite, SweepSpec, WorkloadSpec};
+use bbs_engine::{
+    run_suite, Engine, RunSettings, Scenario, SolveCache, Suite, SweepSpec, WorkloadSpec,
+};
 use bbs_taskgraph::presets::PresetSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// `points` single-point scenarios over one shared tiny workload: one
 /// distinct solve, `points - 1` memo hits — a pure scheduling stress.
@@ -61,12 +64,29 @@ fn bench_memo_hit_storm(c: &mut Criterion) {
     let suite = contention_suite(500);
     let mut group = c.benchmark_group("executor_contention_500pt");
     group.sample_size(20);
-    for jobs in [4usize, 8] {
+    for jobs in [1usize, 4, 8] {
         group.bench_function(format!("shared_queue_j{jobs}"), |b| {
             b.iter(|| run_suite(black_box(&suite), &settings(jobs, false)).unwrap());
         });
         group.bench_function(format!("work_stealing_j{jobs}"), |b| {
             b.iter(|| run_suite(black_box(&suite), &settings(jobs, true)).unwrap());
+        });
+        // The reusable pool: same scheduler as `work_stealing`, but the
+        // worker threads are spawned once and parked between runs — the
+        // delta against `work_stealing_jN` is pure thread spawn/teardown.
+        let engine = Engine::new(jobs);
+        group.bench_function(format!("pooled_j{jobs}"), |b| {
+            b.iter(|| {
+                // A fresh cache per run, like `run_suite`, so the workload
+                // (1 solve + 499 memo hits) is identical.
+                engine
+                    .run_suite_with_cache(
+                        black_box(&suite),
+                        &settings(jobs, true),
+                        &Arc::new(SolveCache::new()),
+                    )
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -33,6 +33,13 @@ impl Serialize for SolverKind {
     fn serialize(&self) -> serde::Value {
         serde::Value::Str(self.as_str().to_string())
     }
+
+    fn serialize_canonical(&self, out: &mut dyn serde::Serializer) {
+        // Both names are escape-free, so the quoted literal is canonical.
+        out.write_bytes(b"\"");
+        out.write_bytes(self.as_str().as_bytes());
+        out.write_bytes(b"\"");
+    }
 }
 
 impl Deserialize for SolverKind {

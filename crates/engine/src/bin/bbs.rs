@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
-//!         [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
-//!         [--quiet]
+//!         [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
+//!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
 //! bbs list
 //! bbs check REPORT.json
 //! bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
@@ -13,36 +13,45 @@
 //! `run` executes a built-in suite (default: `paper`) or a suite file,
 //! prints the result tables plus a timing summary, and optionally writes the
 //! machine-readable report as JSON/CSV/markdown (`-` writes to stdout).
+//! Suites run on the reusable [`Engine`] worker pool by default;
+//! `--fresh-executor` uses the per-run scoped executor instead (reports are
+//! byte-identical either way — CI compares them).
 //! With `--cache-dir` (or the `BBS_CACHE_DIR` environment variable) solves
 //! are also persisted to a content-addressed on-disk store, so later
-//! invocations skip them entirely; `bbs cache` inspects and manages that
-//! store. `check` parses and schema-validates a report produced by `run`.
-//! The exit code is non-zero when anything failed, including scenarios with
-//! unexpectedly infeasible points.
+//! invocations skip them entirely; `--cache-max-entries` (or
+//! `BBS_CACHE_MAX_ENTRIES`) bounds that store's size on the write path.
+//! `bbs cache` inspects and manages the store. `check` parses and
+//! schema-validates a report produced by `run`. The exit code is non-zero
+//! when anything failed, including scenarios with unexpectedly infeasible
+//! points.
 
 use bbs_engine::report::render_timing_summary;
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
-    run_suite_with_cache, GcPolicy, PanicInjection, RunSettings, SolveCache, SolveStore, Suite,
-    SuiteReport,
+    run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, SolveCache, SolveStore,
+    Suite, SuiteReport,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
   bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
-          [--cache-dir DIR] [--json PATH] [--csv PATH] [--markdown PATH]
-          [--quiet]
+          [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
+          [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
   bbs list
   bbs check REPORT.json
   bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
             [--cache-dir DIR]
 
 `--json`/`--csv`/`--markdown` accept `-` for stdout. `--cache-dir` (or the
-BBS_CACHE_DIR environment variable) persists solve results across runs.
+BBS_CACHE_DIR environment variable) persists solve results across runs;
+`--cache-max-entries` (or BBS_CACHE_MAX_ENTRIES) bounds that store on the
+write path with the same eviction `cache gc --max-entries` applies.
 `--no-steal` schedules work over the single shared queue instead of the
-work-stealing per-worker deques (reports are identical either way).";
+work-stealing per-worker deques; `--fresh-executor` spawns per-run worker
+threads instead of the reusable pool (reports are identical either way).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,7 +82,9 @@ struct RunArgs {
     jobs: usize,
     use_cache: bool,
     steal: bool,
+    pooled: bool,
     cache_dir: Option<String>,
+    cache_max_entries: Option<u64>,
     json: Option<String>,
     csv: Option<String>,
     markdown: Option<String>,
@@ -87,7 +98,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         jobs: 1,
         use_cache: true,
         steal: true,
+        pooled: true,
         cache_dir: None,
+        cache_max_entries: None,
         json: None,
         csv: None,
         markdown: None,
@@ -113,7 +126,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--no-cache" => parsed.use_cache = false,
             "--no-steal" => parsed.steal = false,
+            "--fresh-executor" => parsed.pooled = false,
             "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
+            "--cache-max-entries" => {
+                let raw = value("--cache-max-entries")?;
+                parsed.cache_max_entries =
+                    Some(raw.parse::<u64>().map_err(|_| {
+                        format!("--cache-max-entries must be a count, got `{raw}`")
+                    })?);
+            }
             "--json" => parsed.json = Some(value("--json")?),
             "--csv" => parsed.csv = Some(value("--csv")?),
             "--markdown" => parsed.markdown = Some(value("--markdown")?),
@@ -214,6 +235,25 @@ fn open_store(dir: &str) -> Result<SolveStore, String> {
     SolveStore::open(dir).map_err(|e| format!("cannot open cache directory {dir}: {e}"))
 }
 
+/// The automatic store size cap in effect: the flag wins over
+/// `BBS_CACHE_MAX_ENTRIES`. A malformed environment value is an error, not
+/// a silently unbounded store; an empty or all-whitespace one behaves like
+/// an unset one.
+fn effective_cache_max_entries(flag: Option<u64>) -> Result<Option<u64>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    match std::env::var("BBS_CACHE_MAX_ENTRIES") {
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("BBS_CACHE_MAX_ENTRIES must be a count, got `{raw}`")),
+        Err(_) => Ok(None),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let args = parse_run_args(args)?;
     let suite = load_suite(&args)?;
@@ -227,10 +267,26 @@ fn run(args: &[String]) -> Result<(), String> {
     // `--no-cache` bypasses both tiers: without the in-memory tier there is
     // no deterministic once-per-key funnel to hang the disk tier off.
     let cache = match effective_cache_dir(args.cache_dir.as_deref()) {
-        Some(dir) if args.use_cache => SolveCache::with_store(open_store(&dir)?),
+        Some(dir) if args.use_cache => {
+            let mut store = open_store(&dir)?;
+            if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
+                store = store.with_max_entries(cap);
+            }
+            SolveCache::with_store(store)
+        }
         _ => SolveCache::new(),
     };
-    let outcome = run_suite_with_cache(&suite, &settings, &cache).map_err(|e| e.to_string())?;
+    // Default: the reusable worker pool (one suite here, but identical to
+    // what long-running callers use — CI compares it against
+    // `--fresh-executor` to hold the byte-identity invariant).
+    let outcome = if args.pooled {
+        let cache = Arc::new(cache);
+        Engine::new(settings.jobs)
+            .run_suite_with_cache(&suite, &settings, &cache)
+            .map_err(|e| e.to_string())?
+    } else {
+        run_suite_with_cache(&suite, &settings, &cache).map_err(|e| e.to_string())?
+    };
     let report = SuiteReport::from_outcome(&outcome);
     report.validate().map_err(|e| e.to_string())?;
 
@@ -429,6 +485,29 @@ mod tests {
         assert_eq!(parsed.jobs, 8);
         assert!(!parsed.steal);
         assert!(parse_run_args(&strings(&["--jobs", "8"])).unwrap().steal);
+    }
+
+    #[test]
+    fn run_args_parse_the_executor_and_cap_flags() {
+        let parsed = parse_run_args(&strings(&[
+            "--fresh-executor",
+            "--cache-max-entries",
+            "128",
+        ]))
+        .unwrap();
+        assert!(!parsed.pooled);
+        assert_eq!(parsed.cache_max_entries, Some(128));
+        let default = parse_run_args(&[]).unwrap();
+        assert!(default.pooled);
+        assert_eq!(default.cache_max_entries, None);
+        assert!(parse_run_args(&strings(&["--cache-max-entries", "lots"])).is_err());
+        // The flag wins over the environment; parsing of the flag itself
+        // never consults the environment.
+        assert_eq!(
+            effective_cache_max_entries(Some(3)).unwrap(),
+            Some(3),
+            "explicit flag must win"
+        );
     }
 
     #[test]

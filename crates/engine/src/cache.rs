@@ -1,10 +1,46 @@
-//! Memoization of joint solves.
+//! Memoization of joint solves, keyed by allocation-free streaming digests.
 //!
 //! Overlapping sweeps and repeated suite runs solve the same SOCP instance
 //! over and over (the `paper` suite alone requests the capacity-1..10
 //! producer/consumer solve from four different scenarios). The cache keys
-//! each solve by a canonical hash of (configuration, options, flow) and
-//! computes every instance exactly once.
+//! each solve by the canonical identity of (configuration, options, flow)
+//! and computes every instance exactly once.
+//!
+//! # The two-level key
+//!
+//! The identity has two representations:
+//!
+//! * [`CacheKey`] — a 16-byte `Copy` value holding the 128-bit
+//!   [`CanonicalDigest`] of `options ‖ flow ‖ configuration`, computed by
+//!   *streaming* the canonical JSON bytes into the digest lanes
+//!   ([`serde::Serialize::serialize_canonical`]) — no JSON string, no
+//!   `Value` tree, zero heap allocation. This is the `HashMap` key of the
+//!   in-memory tier, so the per-lookup cost on the hot path is one digest
+//!   pass plus a 16-byte hash.
+//! * [`CanonicalKey`] — the materialised form: the full canonical JSON of
+//!   the configuration and options plus the flow name, verbatim. Only the
+//!   persistent [`SolveStore`] needs it (its on-disk entries repeat the
+//!   full key so 64-bit path-hash collisions are detected by string
+//!   comparison), so it is built *lazily* — once per distinct key, by the
+//!   slot claimer, just before the first disk lookup / store write — and
+//!   never on a memory hit.
+//!
+//! Equal canonical JSON implies equal digests, so the digest key space
+//! partitions solves exactly as the old string key did (reports and their
+//! embedded hit/miss counters are byte-identical). The converse holds up to
+//! a 128-bit collision of two *different* instances: probability ~2⁻⁶⁴ even
+//! across billions of keys, which the in-memory tier accepts by design. The
+//! disk tier is stricter: a digest collision that reaches the store is
+//! caught by the full-key comparison there and heals as a fresh solve (see
+//! `docs/ARCHITECTURE.md`, "the two-level cache key").
+//!
+//! Per-scenario constants are hoisted: a [`ScenarioKeySeed`] folds the
+//! options JSON and the flow into the digest state once per scenario, so a
+//! capacity sweep only streams each point's (capped) configuration — and
+//! serialises [`SolveOptions`] exactly once per scenario, not once per
+//! point (regression-guarded by [`options_serialisation_count`]).
+//!
+//! # Claiming
 //!
 //! The per-key slot is claimed *before* solving: when two workers race on
 //! the same key, the first claims the slot (one miss) and the second blocks
@@ -22,7 +58,7 @@
 
 use crate::store::SolveStore;
 use bbs_conic::ConicError;
-use bbs_taskgraph::Configuration;
+use bbs_taskgraph::{fnv1a, CanonicalDigest, CanonicalHasher, Configuration};
 use budget_buffer::{Mapping, MappingError, SolveOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
@@ -30,15 +66,132 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// The canonical identity of one solve.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Counts [`SolveOptions`] serialisations performed for key derivation —
+/// test instrumentation guarding the "options are serialised at most once
+/// per scenario, not once per sweep point" hoist against regressions.
+static OPTIONS_SERIALISATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of [`SolveOptions`] serialisations performed for key
+/// derivation so far (see [`ScenarioKeySeed::options_json`]). Exposed for
+/// regression tests; compare deltas, not absolute values.
+pub fn options_serialisation_count() -> u64 {
+    OPTIONS_SERIALISATIONS.load(Ordering::Relaxed)
+}
+
+/// Serialises tests that assert on [`options_serialisation_count`] deltas
+/// (the counter is process-global).
+#[cfg(test)]
+pub(crate) static COUNTER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// The hot-path identity of one solve: a 128-bit streaming digest of
+/// `options ‖ flow ‖ configuration` canonical JSON.
+///
+/// `Copy`, 16 bytes, and built without a single heap allocation — see the
+/// [module docs](self) for how it relates to the materialised
+/// [`CanonicalKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// FNV-1a fingerprint of the configuration's canonical JSON — a cheap
-    /// prehash for diagnostics and logs.
+    digest: CanonicalDigest,
+}
+
+impl CacheKey {
+    /// Builds the key for solving `configuration` with `options` under
+    /// `flow`. Equivalent to
+    /// [`ScenarioKeySeed::new`]`(options, flow).`[`key_for`](ScenarioKeySeed::key_for)`(configuration)`;
+    /// sweeps should hoist the seed instead of calling this per point.
+    pub fn new(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
+        ScenarioKeySeed::new(options, flow).key_for(configuration)
+    }
+
+    /// The digest behind the key (for diagnostics and logs).
+    pub fn digest(self) -> CanonicalDigest {
+        self.digest
+    }
+}
+
+/// The per-scenario constants of key derivation, hoisted out of the
+/// per-point loop: a digest state pre-folded with the options and the flow
+/// name. [`ScenarioKeySeed::key_for`] then derives one point's key by
+/// streaming only that point's (capped) configuration on top.
+///
+/// Creating a seed *streams* the options into the digest — no JSON string
+/// exists yet. The options JSON (needed only to materialise
+/// [`CanonicalKey`]s for the disk tier) is built lazily by
+/// [`ScenarioKeySeed::options_json`], at most once per seed, shared by
+/// every point of the scenario.
+#[derive(Debug)]
+pub struct ScenarioKeySeed {
+    /// Digest state after folding `options ‖ 0x00 ‖ flow ‖ 0x00` (the
+    /// options as their canonical JSON byte stream; the NUL separators keep
+    /// the concatenation unambiguous).
+    state: CanonicalHasher,
+    options: SolveOptions,
+    options_json: std::sync::OnceLock<Arc<str>>,
+    flow: Arc<str>,
+}
+
+impl ScenarioKeySeed {
+    /// Hoists the key-derivation constants of one scenario. Allocation-wise
+    /// this only clones the (heap-free) options and the flow name; the
+    /// options are hashed by streaming, not serialised.
+    pub fn new(options: &SolveOptions, flow: &str) -> Self {
+        let mut state = CanonicalHasher::new();
+        serde::Serialize::serialize_canonical(options, &mut state);
+        state.write(&[0]);
+        state.write(flow.as_bytes());
+        state.write(&[0]);
+        Self {
+            state,
+            options: options.clone(),
+            options_json: std::sync::OnceLock::new(),
+            flow: flow.into(),
+        }
+    }
+
+    /// The key of one solve of `configuration` under this scenario's
+    /// options and flow. Allocation-free: clones the pre-folded digest
+    /// state (two words) and streams the configuration into it.
+    pub fn key_for(&self, configuration: &Configuration) -> CacheKey {
+        let mut state = self.state.clone();
+        serde::Serialize::serialize_canonical(configuration, &mut state);
+        CacheKey {
+            digest: state.finish(),
+        }
+    }
+
+    /// The scenario's options JSON, serialised on first use and shared
+    /// (reference-counted) afterwards — so a whole sweep serialises its
+    /// options at most once, and runs without a disk tier never do.
+    pub fn options_json(&self) -> Arc<str> {
+        Arc::clone(self.options_json.get_or_init(|| {
+            OPTIONS_SERIALISATIONS.fetch_add(1, Ordering::Relaxed);
+            serde_json::to_string(&self.options)
+                .expect("options serialise to JSON")
+                .into()
+        }))
+    }
+
+    /// The flow name the seed was built with.
+    pub fn flow(&self) -> Arc<str> {
+        Arc::clone(&self.flow)
+    }
+}
+
+/// The fully materialised canonical identity of one solve — what the
+/// persistent [`SolveStore`] addresses entries by and writes into them.
+///
+/// Built lazily (once per distinct key, never on a memory hit) via
+/// [`CanonicalKey::materialise`]; [`CanonicalKey::from_parts`] is the
+/// stand-alone constructor for tests and store management code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey {
+    /// FNV-1a fingerprint of the configuration's canonical JSON (the low
+    /// digest lane) — kept in store entries for diagnostics.
     pub fingerprint: u64,
     /// The canonical JSON of the (capped) configuration, kept verbatim so
-    /// equality is exact: a 64-bit fingerprint collision can therefore
-    /// never alias two different problems to one cache slot.
+    /// store-entry equality is exact: a 64-bit path-hash collision (or a
+    /// 128-bit digest collision) can therefore never alias two different
+    /// problems to one entry.
     pub configuration: String,
     /// Canonical JSON of the solve options.
     pub options: String,
@@ -46,17 +199,25 @@ pub struct CacheKey {
     pub flow: String,
 }
 
-impl CacheKey {
-    /// Builds the key for solving `configuration` with `options` under
-    /// `flow`.
-    pub fn new(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
+impl CanonicalKey {
+    /// Materialises the canonical key from a configuration and an
+    /// already-serialised options JSON (the hoisted
+    /// [`ScenarioKeySeed::options_json`]).
+    pub fn materialise(configuration: &Configuration, options_json: &str, flow: &str) -> Self {
         let configuration = configuration.canonical_json();
         Self {
-            fingerprint: bbs_taskgraph::fnv1a(configuration.as_bytes()),
+            fingerprint: fnv1a(configuration.as_bytes()),
             configuration,
-            options: serde_json::to_string(options).expect("options serialise to JSON"),
+            options: options_json.to_string(),
             flow: flow.to_string(),
         }
+    }
+
+    /// Builds the canonical key from scratch, serialising the options —
+    /// the stand-alone route used by tests and store management code.
+    pub fn from_parts(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
+        let options_json = serde_json::to_string(options).expect("options serialise to JSON");
+        Self::materialise(configuration, &options_json, flow)
     }
 }
 
@@ -130,7 +291,7 @@ impl Slot {
 /// # Example
 ///
 /// ```
-/// use bbs_engine::{CacheKey, SolveCache, SolveSource};
+/// use bbs_engine::{CacheKey, CanonicalKey, SolveCache, SolveSource};
 /// use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
 /// use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
 ///
@@ -139,14 +300,18 @@ impl Slot {
 /// let options = SolveOptions::default().prefer_budget_minimisation();
 /// let cache = SolveCache::new();
 /// let key = CacheKey::new(&configuration, &options, "joint");
+/// // Materialised only if a disk tier needs it — never on this in-memory
+/// // cache, and never on a hit.
+/// let canonical = || CanonicalKey::from_parts(&configuration, &options, "joint");
 ///
-/// let (first, source) = cache.solve_with(key.clone(), &configuration, || {
+/// let (first, source) = cache.solve_with(key, &configuration, canonical, || {
 ///     compute_mapping(&configuration, &options)
 /// });
 /// assert_eq!(source, SolveSource::Fresh);
 ///
-/// // The second lookup never invokes the closure.
-/// let (second, source) = cache.solve_with(key, &configuration, || unreachable!());
+/// // The second lookup never invokes the solve closure.
+/// let canonical = || CanonicalKey::from_parts(&configuration, &options, "joint");
+/// let (second, source) = cache.solve_with(key, &configuration, canonical, || unreachable!());
 /// assert_eq!(source, SolveSource::Memory);
 /// assert_eq!(first.unwrap(), second.unwrap());
 /// ```
@@ -183,29 +348,23 @@ impl SolveCache {
     /// per distinct key across all threads (and not at all when the
     /// persistent tier answers). `configuration` must be the configuration
     /// the key was built from — the disk tier rebuilds mappings against it
-    /// instead of re-parsing the key's canonical JSON. The [`SolveSource`]
-    /// reports which tier — if any — served the result.
+    /// instead of re-parsing canonical JSON. `canonical` materialises the
+    /// full [`CanonicalKey`] for the disk tier; it runs at most once per
+    /// distinct key (the slot claimer, store present), so hits — memory or
+    /// in-flight waits — never serialise anything. The [`SolveSource`]
+    /// reports which tier, if any, served the result.
     pub fn solve_with(
         &self,
         key: CacheKey,
         configuration: &Configuration,
+        canonical: impl FnOnce() -> CanonicalKey,
         solve: impl FnOnce() -> Result<Mapping, MappingError>,
     ) -> (Result<Mapping, MappingError>, SolveSource) {
-        let (slot, claimed, disk_key) = {
+        let (slot, claimed) = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
             match slots.entry(key) {
-                Entry::Occupied(entry) => (Arc::clone(entry.get()), false, None),
-                Entry::Vacant(entry) => {
-                    // Only the claimer needs the key again (for the disk
-                    // tier), so the non-trivial canonical-JSON clone is
-                    // paid once per distinct key, not per lookup.
-                    let disk_key = self.store.as_ref().map(|_| entry.key().clone());
-                    (
-                        Arc::clone(entry.insert(Arc::new(Slot::new()))),
-                        true,
-                        disk_key,
-                    )
-                }
+                Entry::Occupied(entry) => (Arc::clone(entry.get()), false),
+                Entry::Vacant(entry) => (Arc::clone(entry.insert(Arc::new(Slot::new()))), true),
             }
         };
         if claimed {
@@ -215,15 +374,18 @@ impl SolveCache {
             // key would block forever and the joining scope would hang
             // instead of propagating the panic.
             let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // Only the claimer consults the disk tier, so disk hit/miss
-                // counts stay deterministic across worker counts.
-                let store = self.store.as_ref().zip(disk_key.as_ref());
+                // Only the claimer materialises the canonical key and
+                // consults the disk tier, so the materialisation cost is
+                // once per distinct key and disk hit/miss counts stay
+                // deterministic across worker counts.
+                let canonical_key = self.store.as_ref().map(|_| canonical());
+                let store = self.store.as_ref().zip(canonical_key.as_ref());
                 match store.and_then(|(store, key)| store.load(key, configuration)) {
-                    Some(result) => (result, SolveSource::Disk),
-                    None => (solve(), SolveSource::Fresh),
+                    Some(result) => (result, SolveSource::Disk, canonical_key),
+                    None => (solve(), SolveSource::Fresh, canonical_key),
                 }
             }));
-            let (result, source) = match computed {
+            let (result, source, canonical_key) = match computed {
                 Ok(computed) => computed,
                 Err(panic) => {
                     let poison = Err(panicked_solve_error());
@@ -239,7 +401,7 @@ impl SolveCache {
             slot.ready.notify_all();
             drop(guard);
             if source == SolveSource::Fresh {
-                if let Some((store, key)) = self.store.as_ref().zip(disk_key.as_ref()) {
+                if let Some((store, key)) = self.store.as_ref().zip(canonical_key.as_ref()) {
                     store.save(key, &result);
                 }
             }
@@ -273,6 +435,11 @@ mod tests {
         SolveOptions::default().prefer_budget_minimisation()
     }
 
+    /// The materialisation closure for tests that never consult a store.
+    fn unused_canonical() -> CanonicalKey {
+        panic!("canonical key must not be materialised without a store")
+    }
+
     #[test]
     fn second_lookup_is_a_hit_with_equal_result() {
         let configuration =
@@ -280,11 +447,12 @@ mod tests {
         let options = paper_options();
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &options, "joint");
-        let (first, source1) = cache.solve_with(key.clone(), &configuration, || {
+        let (first, source1) = cache.solve_with(key, &configuration, unused_canonical, || {
             compute_mapping(&configuration, &options)
         });
-        let (second, source2) =
-            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        let (second, source2) = cache.solve_with(key, &configuration, unused_canonical, || {
+            panic!("must not re-solve")
+        });
         assert_eq!(source1, SolveSource::Fresh);
         assert!(!source1.is_hit());
         assert_eq!(source2, SolveSource::Memory);
@@ -311,15 +479,75 @@ mod tests {
     }
 
     #[test]
-    fn key_equality_survives_a_fingerprint_collision() {
+    fn seed_derived_keys_match_standalone_construction() {
+        // The hoisted per-scenario route and the stand-alone constructor
+        // must agree key-for-key, or sweeps and single solves of the same
+        // instance would stop deduplicating.
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = paper_options();
+        let seed = ScenarioKeySeed::new(&options, "joint");
+        for cap in 1..=6u64 {
+            let capped = with_capacity_cap(&base, cap);
+            assert_eq!(
+                seed.key_for(&capped),
+                CacheKey::new(&capped, &options, "joint")
+            );
+        }
+        assert_eq!(seed.key_for(&base), CacheKey::new(&base, &options, "joint"));
+    }
+
+    #[test]
+    fn materialised_and_standalone_canonical_keys_agree() {
+        let configuration =
+            with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 3);
+        let options = paper_options();
+        let seed = ScenarioKeySeed::new(&options, "joint");
+        let materialised =
+            CanonicalKey::materialise(&configuration, &seed.options_json(), &seed.flow());
+        assert_eq!(
+            materialised,
+            CanonicalKey::from_parts(&configuration, &options, "joint")
+        );
+        assert_eq!(
+            materialised.fingerprint,
+            configuration.canonical_fingerprint()
+        );
+        assert_eq!(materialised.configuration, configuration.canonical_json());
+    }
+
+    #[test]
+    fn options_are_serialised_at_most_once_per_seed_never_per_key() {
+        let _guard = COUNTER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = paper_options();
+        let before = options_serialisation_count();
+        let seed = ScenarioKeySeed::new(&options, "joint");
+        for cap in 1..=6u64 {
+            let _ = seed.key_for(&with_capacity_cap(&base, cap));
+        }
+        assert_eq!(
+            options_serialisation_count() - before,
+            0,
+            "key derivation alone must never serialise options"
+        );
+        let first = seed.options_json();
+        let second = seed.options_json();
+        assert_eq!(first, second);
+        assert_eq!(
+            options_serialisation_count() - before,
+            1,
+            "materialisation must serialise exactly once per seed"
+        );
+    }
+
+    #[test]
+    fn key_equality_requires_both_digest_lanes() {
         let base = producer_consumer(PaperParameters::default(), None);
         let options = paper_options();
         let a = CacheKey::new(&with_capacity_cap(&base, 4), &options, "joint");
-        let mut b = CacheKey::new(&with_capacity_cap(&base, 5), &options, "joint");
-        // Simulate a 64-bit collision: equality must still separate the two
-        // problems because the full canonical JSON is compared.
-        b.fingerprint = a.fingerprint;
-        assert_ne!(a, b);
+        let b = CacheKey::new(&with_capacity_cap(&base, 5), &options, "joint");
+        assert_ne!(a.digest().lo, b.digest().lo);
+        assert_ne!(a.digest().hi, b.digest().hi);
     }
 
     #[test]
@@ -328,14 +556,15 @@ mod tests {
             with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &paper_options(), "joint");
-        let (first, _) = cache.solve_with(key.clone(), &configuration, || {
+        let (first, _) = cache.solve_with(key, &configuration, unused_canonical, || {
             Err(MappingError::Infeasible {
                 detail: "injected".to_string(),
             })
         });
         assert!(first.is_err());
-        let (second, source) =
-            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        let (second, source) = cache.solve_with(key, &configuration, unused_canonical, || {
+            panic!("must not re-solve")
+        });
         assert_eq!(source, SolveSource::Memory);
         assert_eq!(first, second);
     }
@@ -347,14 +576,15 @@ mod tests {
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &paper_options(), "joint");
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.solve_with(key.clone(), &configuration, || {
+            cache.solve_with(key, &configuration, unused_canonical, || {
                 panic!("injected solver panic")
             })
         }));
         assert!(panicked.is_err(), "the claimer must re-raise the panic");
         // Waiters (and later lookups) get a poison error instead of hanging.
-        let (result, source) =
-            cache.solve_with(key, &configuration, || panic!("must not re-solve"));
+        let (result, source) = cache.solve_with(key, &configuration, unused_canonical, || {
+            panic!("must not re-solve")
+        });
         assert_eq!(source, SolveSource::Memory);
         assert!(result.unwrap_err().to_string().contains("panicked"));
     }
@@ -366,21 +596,27 @@ mod tests {
             with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
         let options = paper_options();
         let key = CacheKey::new(&configuration, &options, "joint");
+        let canonical = || CanonicalKey::from_parts(&configuration, &options, "joint");
 
         let cold = SolveCache::with_store(SolveStore::open(directory.path()).unwrap());
-        let (first, source) = cold.solve_with(key.clone(), &configuration, || {
+        let (first, source) = cold.solve_with(key, &configuration, canonical, || {
             compute_mapping(&configuration, &options)
         });
         assert_eq!(source, SolveSource::Fresh);
         assert_eq!(cold.store().unwrap().stats().stored, 1);
-        // Same process, same cache: the in-memory tier answers first.
-        let (_, source) =
-            cold.solve_with(key.clone(), &configuration, || panic!("must not re-solve"));
+        // Same process, same cache: the in-memory tier answers first, and
+        // the canonical key is not rebuilt.
+        let (_, source) = cold.solve_with(key, &configuration, unused_canonical, || {
+            panic!("must not re-solve")
+        });
         assert_eq!(source, SolveSource::Memory);
 
         // A fresh cache on the same directory — a new process — reads disk.
+        let canonical = || CanonicalKey::from_parts(&configuration, &options, "joint");
         let warm = SolveCache::with_store(SolveStore::open(directory.path()).unwrap());
-        let (second, source) = warm.solve_with(key, &configuration, || panic!("must not re-solve"));
+        let (second, source) = warm.solve_with(key, &configuration, canonical, || {
+            panic!("must not re-solve")
+        });
         assert_eq!(source, SolveSource::Disk);
         assert_eq!(first.unwrap(), second.unwrap());
         let stats = warm.store().unwrap().stats();
@@ -401,10 +637,11 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     let key = CacheKey::new(&configuration, &options, "joint");
-                    let (result, _) = cache.solve_with(key, &configuration, || {
-                        solves.fetch_add(1, Ordering::Relaxed);
-                        compute_mapping(&configuration, &options)
-                    });
+                    let (result, _) =
+                        cache.solve_with(key, &configuration, unused_canonical, || {
+                            solves.fetch_add(1, Ordering::Relaxed);
+                            compute_mapping(&configuration, &options)
+                        });
                     assert!(result.is_ok());
                 });
             }

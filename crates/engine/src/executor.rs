@@ -21,7 +21,10 @@
 //! accounting this makes the run's report independent of the worker count
 //! and of the steal schedule.
 
-use crate::cache::{panicked_solve_error, CacheKey, CacheStats, SolveCache, SolveSource};
+use crate::cache::{
+    panicked_solve_error, CacheKey, CacheStats, CanonicalKey, ScenarioKeySeed, SolveCache,
+    SolveSource,
+};
 use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
 use crate::store::StoreStats;
@@ -35,7 +38,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How a suite is executed.
@@ -238,20 +241,27 @@ fn is_infeasibility(error: &MappingError) -> bool {
 }
 
 /// One solve to perform: the capped configuration plus everything needed to
-/// route the result back to its slot.
-struct WorkItem {
+/// route the result back to its slot. The cache key is pre-derived (from
+/// the scenario's hoisted [`ScenarioKeySeed`]) so workers never serialise
+/// anything on the hot path; the shared seed rides along for the lazy
+/// [`CanonicalKey`] materialisation of points that reach the disk tier
+/// (its options JSON is built at most once per scenario, and not at all
+/// without a store).
+pub(crate) struct WorkItem {
     scenario_index: usize,
     point_index: usize,
     capacity_cap: Option<u64>,
     configuration: Configuration,
     options: SolveOptions,
+    seed: Arc<ScenarioKeySeed>,
     flow: Flow,
     simulate: bool,
+    key: CacheKey,
 }
 
 /// Live counters shared by all workers of one pool.
 #[derive(Default)]
-struct PoolCounters {
+pub(crate) struct PoolCounters {
     local_pops: AtomicU64,
     steals: AtomicU64,
     caught_panics: AtomicU64,
@@ -310,6 +320,11 @@ pub fn run_suite(suite: &Suite, settings: &RunSettings) -> Result<SuiteOutcome, 
 /// runs (and overlapping suites) skip redundant solves. The outcome's
 /// counters are the cache's cumulative totals.
 ///
+/// Worker threads are spawned per call and joined before returning; callers
+/// that run suites repeatedly should hold an [`Engine`](crate::Engine),
+/// whose pool parks its workers between runs instead. Both executors
+/// produce byte-identical reports.
+///
 /// # Errors
 ///
 /// See [`run_suite`].
@@ -318,17 +333,72 @@ pub fn run_suite_with_cache(
     settings: &RunSettings,
     cache: &SolveCache,
 ) -> Result<SuiteOutcome, EngineError> {
-    suite.validate_structure()?;
     let start = Instant::now();
+    let prepared = prepare(suite, settings)?;
+    let jobs = settings.jobs.max(1).min(prepared.items.len().max(1));
+    let shards = shard_items(prepared.items, jobs, settings.steal);
+    let counters = PoolCounters::default();
+    let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
 
-    // Resolve every scenario exactly once (full `Suite::validate` would
-    // build each workload a second time just to discard it) and expand the
-    // sweeps.
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let shards = &shards;
+            let counters = &counters;
+            let sender = sender.clone();
+            let injection_target = prepared.injection_target;
+            scope.spawn(move || {
+                drain_worker(
+                    worker,
+                    shards,
+                    settings,
+                    injection_target,
+                    cache,
+                    counters,
+                    &sender,
+                );
+            });
+        }
+        drop(sender);
+        Ok(assemble_outcome(
+            suite,
+            prepared.resolved,
+            receiver,
+            settings,
+            cache,
+            &counters,
+            jobs,
+            start,
+        ))
+    })
+}
+
+/// The per-scenario resolution of one suite: the scenario as submitted plus
+/// its built workload, flow, options and point count.
+pub(crate) type ResolvedScenario = (Scenario, Configuration, Flow, SolveOptions, usize);
+
+/// A suite resolved and expanded into work items, ready to shard.
+pub(crate) struct Prepared {
+    pub(crate) resolved: Vec<ResolvedScenario>,
+    pub(crate) items: Vec<WorkItem>,
+    pub(crate) injection_target: Option<(usize, usize)>,
+}
+
+/// Resolves every scenario exactly once (full `Suite::validate` would build
+/// each workload a second time just to discard it), expands the sweeps into
+/// work items, and pre-derives each item's cache key from the scenario's
+/// hoisted [`ScenarioKeySeed`].
+pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared, EngineError> {
+    suite.validate_structure()?;
     let in_scenario = |name: &str, e: EngineError| {
         EngineError::InvalidScenario(format!("scenario `{name}`: {e}"))
     };
     let mut resolved = Vec::new();
     let mut items = Vec::new();
+    // Consecutive scenarios overwhelmingly share options and flow (whole
+    // built-in suites use the paper defaults), so the hoisted seed is
+    // reused across scenarios too: one options fold for a hundred
+    // same-options scenarios instead of one each.
+    let mut last_seed: Option<(SolveOptions, Flow, Arc<ScenarioKeySeed>)> = None;
     // The injected fault resolved to slot coordinates, so workers compare
     // two indices instead of a per-item scenario-name clone.
     let mut injection_target: Option<(usize, usize)> = None;
@@ -341,6 +411,22 @@ pub fn run_suite_with_cache(
             .resolved_flow()
             .map_err(|e| in_scenario(&scenario.name, e))?;
         let options = scenario.resolved_options();
+        // The key-derivation constants of the scenario — options and flow —
+        // are folded into the digest state exactly once here (or reused
+        // outright); each point below only streams its own (capped)
+        // configuration.
+        let seed = match &last_seed {
+            Some((seed_options, seed_flow, seed))
+                if *seed_flow == flow && seed_options == &options =>
+            {
+                Arc::clone(seed)
+            }
+            _ => {
+                let seed = Arc::new(ScenarioKeySeed::new(&options, flow.as_str()));
+                last_seed = Some((options.clone(), flow, Arc::clone(&seed)));
+                seed
+            }
+        };
         let caps: Vec<Option<u64>> = match &scenario.sweep {
             Some(sweep) => sweep
                 .caps()
@@ -350,6 +436,7 @@ pub fn run_suite_with_cache(
                 .collect(),
             None => vec![None],
         };
+        items.reserve(caps.len());
         for (point_index, cap) in caps.iter().enumerate() {
             let capped = match cap {
                 Some(cap) => with_capacity_cap(&configuration, *cap),
@@ -360,14 +447,17 @@ pub fn run_suite_with_cache(
             }) {
                 injection_target = Some((scenario_index, point_index));
             }
+            let key = seed.key_for(&capped);
             items.push(WorkItem {
                 scenario_index,
                 point_index,
                 capacity_cap: *cap,
                 configuration: capped,
                 options: options.clone(),
+                seed: Arc::clone(&seed),
                 flow,
                 simulate: scenario.simulate.unwrap_or(false),
+                key,
             });
         }
         resolved.push((scenario.clone(), configuration, flow, options, caps.len()));
@@ -385,17 +475,26 @@ pub fn run_suite_with_cache(
         }
     }
 
-    let total_items = items.len();
-    let jobs = settings.jobs.max(1).min(total_items.max(1));
+    Ok(Prepared {
+        resolved,
+        items,
+        injection_target,
+    })
+}
 
-    // Shard the items across per-worker deques, round-robin in suite order.
-    // Each shard is seeded *in reverse*, so the owner's LIFO `pop_back`
-    // walks its share in suite order (with `--jobs 1` the whole suite runs
-    // front to back, exactly like the shared queue), while thieves steal
-    // with `pop_front` — the opposite end, which holds the items the owner
-    // would reach last. With stealing disabled everything lands in one
-    // shared FIFO deque instead.
-    let shards: Vec<Mutex<VecDeque<WorkItem>>> = if settings.steal {
+/// Shards the items across per-worker deques, round-robin in suite order.
+/// Each shard is seeded *in reverse*, so the owner's LIFO `pop_back` walks
+/// its share in suite order (with `--jobs 1` the whole suite runs front to
+/// back, exactly like the shared queue), while thieves steal with
+/// `pop_front` — the opposite end, which holds the items the owner would
+/// reach last. With stealing disabled everything lands in one shared FIFO
+/// deque instead.
+pub(crate) fn shard_items(
+    items: Vec<WorkItem>,
+    jobs: usize,
+    steal: bool,
+) -> Vec<Mutex<VecDeque<WorkItem>>> {
+    if steal {
         let mut deques: Vec<VecDeque<WorkItem>> = (0..jobs).map(|_| VecDeque::new()).collect();
         for (index, item) in items.into_iter().enumerate().rev() {
             deques[index % jobs].push_back(item);
@@ -403,106 +502,124 @@ pub fn run_suite_with_cache(
         deques.into_iter().map(Mutex::new).collect()
     } else {
         vec![Mutex::new(items.into_iter().collect())]
-    };
-    let counters = PoolCounters::default();
-    let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
+    }
+}
 
-    std::thread::scope(|scope| {
-        for worker in 0..jobs {
-            let shards = &shards;
-            let counters = &counters;
-            let sender = sender.clone();
-            scope.spawn(move || {
-                let home = worker.min(shards.len() - 1);
-                loop {
-                    // LIFO local pop in stealing mode, FIFO on the shared
-                    // queue (one shard: preserve submission order).
-                    let local = if settings.steal {
-                        lock_deque(&shards[home]).pop_back()
-                    } else {
-                        lock_deque(&shards[home]).pop_front()
-                    };
-                    let item = match local {
-                        Some(item) => {
-                            counters.local_pops.fetch_add(1, Ordering::Relaxed);
-                            Some(item)
-                        }
-                        None if settings.steal => {
-                            // FIFO steal, walking the victims in ring order
-                            // from our own shard so thieves spread out.
-                            (1..shards.len())
-                                .map(|offset| (home + offset) % shards.len())
-                                .find_map(|victim| lock_deque(&shards[victim]).pop_front())
-                                .inspect(|_| {
-                                    counters.steals.fetch_add(1, Ordering::Relaxed);
-                                })
-                        }
-                        None => None,
-                    };
-                    // Items are never re-queued, so empty-everywhere means
-                    // the suite is drained and the worker can retire.
-                    let Some(item) = item else { break };
-                    let inject = injection_target == Some((item.scenario_index, item.point_index));
-                    let outcome = execute_guarded(&item, cache, settings, counters, inject);
-                    // The receiver lives until every sender hung up; a send
-                    // failure means the main thread panicked already.
-                    let _ = sender.send((item.scenario_index, item.point_index, outcome));
-                }
-            });
-        }
-        drop(sender);
+/// One worker's drain loop, shared by the scoped per-run executor and the
+/// reusable [`Engine`](crate::Engine) pool: pop locally (LIFO in stealing
+/// mode, FIFO on the shared queue), steal FIFO in ring order when dry,
+/// retire when every deque is empty.
+pub(crate) fn drain_worker(
+    worker: usize,
+    shards: &[Mutex<VecDeque<WorkItem>>],
+    settings: &RunSettings,
+    injection_target: Option<(usize, usize)>,
+    cache: &SolveCache,
+    counters: &PoolCounters,
+    sender: &mpsc::Sender<(usize, usize, PointOutcome)>,
+) {
+    let home = worker.min(shards.len() - 1);
+    loop {
+        // LIFO local pop in stealing mode, FIFO on the shared queue (one
+        // shard: preserve submission order).
+        let local = if settings.steal {
+            lock_deque(&shards[home]).pop_back()
+        } else {
+            lock_deque(&shards[home]).pop_front()
+        };
+        let item = match local {
+            Some(item) => {
+                counters.local_pops.fetch_add(1, Ordering::Relaxed);
+                Some(item)
+            }
+            None if settings.steal => {
+                // FIFO steal, walking the victims in ring order from our
+                // own shard so thieves spread out.
+                (1..shards.len())
+                    .map(|offset| (home + offset) % shards.len())
+                    .find_map(|victim| lock_deque(&shards[victim]).pop_front())
+                    .inspect(|_| {
+                        counters.steals.fetch_add(1, Ordering::Relaxed);
+                    })
+            }
+            None => None,
+        };
+        // Items are never re-queued, so empty-everywhere means the suite is
+        // drained and the worker can retire.
+        let Some(item) = item else { break };
+        let inject = injection_target == Some((item.scenario_index, item.point_index));
+        let outcome = execute_guarded(&item, cache, settings, counters, inject);
+        // The receiver lives until every sender hung up; a send failure
+        // means the submitting thread panicked already.
+        let _ = sender.send((item.scenario_index, item.point_index, outcome));
+    }
+}
 
-        // Collect into pre-addressed slots: suite order, not finish order.
-        let mut slots: Vec<Vec<Option<PointOutcome>>> = resolved
-            .iter()
-            .map(|(_, _, _, _, points)| vec![None; *points])
-            .collect();
-        for (scenario_index, point_index, outcome) in receiver {
-            slots[scenario_index][point_index] = Some(outcome);
-        }
+/// Collects worker results into pre-addressed slots (suite order, not
+/// finish order) and assembles the run's [`SuiteOutcome`]. Must be called
+/// after every worker's sender has been handed out, with the submitter's
+/// own sender dropped: the receiver loop ends exactly when the last worker
+/// finishes the job.
+#[allow(clippy::too_many_arguments)] // one call site per executor, all distinct
+pub(crate) fn assemble_outcome(
+    suite: &Suite,
+    resolved: Vec<ResolvedScenario>,
+    receiver: mpsc::Receiver<(usize, usize, PointOutcome)>,
+    settings: &RunSettings,
+    cache: &SolveCache,
+    counters: &PoolCounters,
+    workers: usize,
+    start: Instant,
+) -> SuiteOutcome {
+    let mut slots: Vec<Vec<Option<PointOutcome>>> = resolved
+        .iter()
+        .map(|(_, _, _, _, points)| vec![None; *points])
+        .collect();
+    for (scenario_index, point_index, outcome) in receiver {
+        slots[scenario_index][point_index] = Some(outcome);
+    }
 
-        let scenarios = resolved
-            .into_iter()
-            .zip(slots)
-            .map(
-                |((scenario, configuration, flow, options, _), points)| ScenarioOutcome {
-                    scenario,
-                    configuration,
-                    flow,
-                    options,
-                    points: points
-                        .into_iter()
-                        .map(|p| p.expect("every work item reports exactly once"))
-                        .collect(),
-                },
-            )
-            .collect();
-
-        Ok(SuiteOutcome {
-            suite: suite.name.clone(),
-            scenarios,
-            cache: if settings.use_cache {
-                cache.stats()
-            } else {
-                // The bypassed cache may hold counters from earlier runs;
-                // reporting them here would contradict `cache_enabled`.
-                CacheStats { hits: 0, misses: 0 }
+    let scenarios = resolved
+        .into_iter()
+        .zip(slots)
+        .map(
+            |((scenario, configuration, flow, options, _), points)| ScenarioOutcome {
+                scenario,
+                configuration,
+                flow,
+                options,
+                points: points
+                    .into_iter()
+                    .map(|p| p.expect("every work item reports exactly once"))
+                    .collect(),
             },
-            cache_enabled: settings.use_cache,
-            store: settings
-                .use_cache
-                .then(|| cache.store().map(|store| store.stats()))
-                .flatten(),
-            executor: ExecutorStats {
-                workers: jobs as u64,
-                stealing: settings.steal,
-                local_pops: counters.local_pops.load(Ordering::Relaxed),
-                steals: counters.steals.load(Ordering::Relaxed),
-                caught_panics: counters.caught_panics.load(Ordering::Relaxed),
-            },
-            wall_time: start.elapsed(),
-        })
-    })
+        )
+        .collect();
+
+    SuiteOutcome {
+        suite: suite.name.clone(),
+        scenarios,
+        cache: if settings.use_cache {
+            cache.stats()
+        } else {
+            // The bypassed cache may hold counters from earlier runs;
+            // reporting them here would contradict `cache_enabled`.
+            CacheStats { hits: 0, misses: 0 }
+        },
+        cache_enabled: settings.use_cache,
+        store: settings
+            .use_cache
+            .then(|| cache.store().map(|store| store.stats()))
+            .flatten(),
+        executor: ExecutorStats {
+            workers: workers as u64,
+            stealing: settings.steal,
+            local_pops: counters.local_pops.load(Ordering::Relaxed),
+            steals: counters.steals.load(Ordering::Relaxed),
+            caught_panics: counters.caught_panics.load(Ordering::Relaxed),
+        },
+        wall_time: start.elapsed(),
+    }
 }
 
 /// Runs a single scenario (a one-element suite with the scenario's name).
@@ -553,8 +670,17 @@ fn execute_item(
         result
     };
     let (result, source) = if settings.use_cache {
-        let key = CacheKey::new(&item.configuration, &item.options, item.flow.as_str());
-        cache.solve_with(key, &item.configuration, solve)
+        // The key was pre-derived from the scenario's hoisted seed; the
+        // full canonical JSON is only materialised — by the slot claimer,
+        // once per distinct key — when a disk tier actually needs it.
+        let canonical = || {
+            CanonicalKey::materialise(
+                &item.configuration,
+                &item.seed.options_json(),
+                item.flow.as_str(),
+            )
+        };
+        cache.solve_with(item.key, &item.configuration, canonical, solve)
     } else {
         (solve(), SolveSource::Fresh)
     };
@@ -681,6 +807,38 @@ mod tests {
             }
         }
         assert_eq!(sequential.cache, parallel.cache);
+    }
+
+    /// Regression test for the per-point options re-serialisation bug: a
+    /// sweep used to call `serde_json::to_string(options)` for every point
+    /// of every scenario. Now a storeless run serialises options zero
+    /// times, and a store-backed run exactly once per scenario (the first
+    /// claimer materialises, the shared seed caches).
+    #[test]
+    fn suite_runs_serialise_options_at_most_once_per_scenario() {
+        let _guard = crate::cache::COUNTER_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let suite = Suite::new("hoist", vec![pc_sweep_scenario("hoist")]);
+
+        let before = crate::cache::options_serialisation_count();
+        run_suite(&suite, &RunSettings::default()).unwrap();
+        assert_eq!(
+            crate::cache::options_serialisation_count() - before,
+            0,
+            "a run without a disk tier must not serialise options at all"
+        );
+
+        let directory = crate::testutil::TempDir::new("options-hoist");
+        let store = crate::store::SolveStore::open(directory.path()).unwrap();
+        let cache = SolveCache::with_store(store);
+        let before = crate::cache::options_serialisation_count();
+        run_suite_with_cache(&suite, &RunSettings::default(), &cache).unwrap();
+        assert_eq!(
+            crate::cache::options_serialisation_count() - before,
+            1,
+            "six store-backed points must serialise their options exactly once"
+        );
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!   per-worker deques (LIFO local pop, FIFO steal) with deterministic
 //!   result ordering; a panicking solve becomes a per-point error, never a
 //!   dead run.
-//! * [`cache`] — memoization of solves keyed by a canonical hash of
-//!   (configuration, options, flow), with deterministic hit/miss counters.
+//! * [`pool`] — the reusable [`Engine`]: the same scheduler on persistent
+//!   worker threads, parked between runs, so repeated `run_suite` calls
+//!   stop paying thread spawn/teardown.
+//! * [`cache`] — memoization of solves keyed by allocation-free 128-bit
+//!   streaming digests of (configuration, options, flow), with
+//!   deterministic hit/miss counters; the full canonical JSON is
+//!   materialised lazily, only for the disk tier.
 //! * [`store`] — the persistent tier below the in-memory cache: a
 //!   content-addressed, schema-versioned on-disk store of solve results, so
 //!   repeated *processes* (CLI re-runs, CI, sweeps) skip solves too.
@@ -59,17 +64,19 @@
 pub mod cache;
 mod error;
 pub mod executor;
+pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod store;
 pub mod suites;
 
-pub use cache::{CacheKey, CacheStats, SolveCache, SolveSource};
+pub use cache::{CacheKey, CacheStats, CanonicalKey, ScenarioKeySeed, SolveCache, SolveSource};
 pub use error::EngineError;
 pub use executor::{
     run_scenario, run_suite, run_suite_with_cache, ExecutorStats, PanicInjection, PointOutcome,
     RunSettings, ScenarioOutcome, SuiteOutcome,
 };
+pub use pool::Engine;
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
 pub use store::{

@@ -1,0 +1,312 @@
+//! The reusable engine: a persistent worker pool that runs suites without
+//! re-spawning threads.
+//!
+//! [`run_suite`](crate::run_suite) spawns its workers per call and joins
+//! them before returning — correct, but a caller that runs suites in a loop
+//! (benchmarks, servers, sweep drivers) pays thread spawn/teardown on every
+//! run. An [`Engine`] spawns its workers once; between runs they park on an
+//! idle channel receive (no spinning, no wakeups), and a run hands each of
+//! them an assignment naming the shared job state. Scheduling inside a
+//! run is *identical* to the scoped executor — the same sharded deques,
+//! steal order, panic boundary and slot-addressed collection, literally the
+//! same drain loop — so pooled and per-run execution produce
+//! byte-identical reports (test- and CI-asserted).
+//!
+//! The job state is reference-counted (`Arc`) because pool workers outlive
+//! any single run's stack frame; that is also why the cache parameter is an
+//! `Arc<SolveCache>` here where the scoped executor borrows one.
+//!
+//! # Example
+//!
+//! ```
+//! use bbs_engine::suites::smoke_suite;
+//! use bbs_engine::{Engine, RunSettings, SolveCache};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(4);
+//! let cache = Arc::new(SolveCache::new());
+//! let settings = RunSettings::with_jobs(4);
+//! // Two runs over the same pool: the second re-uses both the parked
+//! // worker threads and the shared cache (zero fresh solves).
+//! let first = engine
+//!     .run_suite_with_cache(&smoke_suite(), &settings, &cache)
+//!     .unwrap();
+//! let second = engine
+//!     .run_suite_with_cache(&smoke_suite(), &settings, &cache)
+//!     .unwrap();
+//! assert_eq!(second.cache.misses, first.cache.misses, "no new solves");
+//! ```
+
+use crate::cache::SolveCache;
+use crate::error::EngineError;
+use crate::executor::{
+    assemble_outcome, drain_worker, prepare, shard_items, PointOutcome, PoolCounters, RunSettings,
+    SuiteOutcome, WorkItem,
+};
+use crate::scenario::Suite;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything the workers of one run share: the sharded work items, the
+/// scheduler counters, and the run configuration.
+struct JobState {
+    shards: Vec<Mutex<VecDeque<WorkItem>>>,
+    counters: PoolCounters,
+    settings: RunSettings,
+    injection_target: Option<(usize, usize)>,
+    cache: Arc<SolveCache>,
+}
+
+/// One unit of work handed to a parked worker: the job, the worker's home
+/// shard, and the sender its results flow back through. Dropping the sender
+/// when the drain loop retires is what tells the submitting thread this
+/// worker is done.
+struct Assignment {
+    job: Arc<JobState>,
+    home: usize,
+    results: mpsc::Sender<(usize, usize, PointOutcome)>,
+}
+
+/// One pool worker: its assignment channel plus the join handle. The
+/// sender is an `Option` only so `Drop` can close the channel (waking the
+/// parked worker into a clean exit) before joining.
+struct Worker {
+    assignments: Option<mpsc::Sender<Assignment>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A reusable batch engine: `workers` threads, spawned once, parked between
+/// runs, reused by every [`Engine::run_suite`] call. See the
+/// [module docs](self).
+pub struct Engine {
+    workers: Vec<Worker>,
+}
+
+impl Engine {
+    /// Spawns a pool of `workers` threads (clamped to at least 1). The
+    /// threads park immediately and cost nothing until a run is submitted.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let workers = (0..workers)
+            .map(|index| {
+                let (assignments, inbox) = mpsc::channel::<Assignment>();
+                let thread = std::thread::Builder::new()
+                    .name(format!("bbs-engine-{index}"))
+                    .spawn(move || {
+                        // Parked here between runs; exits when the Engine
+                        // drops its sender.
+                        while let Ok(Assignment { job, home, results }) = inbox.recv() {
+                            drain_worker(
+                                home,
+                                &job.shards,
+                                &job.settings,
+                                job.injection_target,
+                                &job.cache,
+                                &job.counters,
+                                &results,
+                            );
+                            // `results` drops here: one retired worker.
+                        }
+                    })
+                    .expect("spawning an engine worker thread");
+                Worker {
+                    assignments: Some(assignments),
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs a whole suite on the pooled workers with a fresh solve cache.
+    /// `settings.jobs` is honoured up to the pool size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the suite fails validation;
+    /// solver-level failures are *data* (recorded per point), not errors.
+    pub fn run_suite(
+        &self,
+        suite: &Suite,
+        settings: &RunSettings,
+    ) -> Result<SuiteOutcome, EngineError> {
+        self.run_suite_with_cache(suite, settings, &Arc::new(SolveCache::new()))
+    }
+
+    /// Runs a whole suite on the pooled workers against a caller-owned
+    /// (shared) [`SolveCache`], so repeated runs skip redundant solves. The
+    /// outcome's counters are the cache's cumulative totals.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_suite`].
+    pub fn run_suite_with_cache(
+        &self,
+        suite: &Suite,
+        settings: &RunSettings,
+        cache: &Arc<SolveCache>,
+    ) -> Result<SuiteOutcome, EngineError> {
+        let start = Instant::now();
+        let prepared = prepare(suite, settings)?;
+        let jobs = settings
+            .jobs
+            .max(1)
+            .min(self.workers.len())
+            .min(prepared.items.len().max(1));
+        let job = Arc::new(JobState {
+            shards: shard_items(prepared.items, jobs, settings.steal),
+            counters: PoolCounters::default(),
+            settings: settings.clone(),
+            injection_target: prepared.injection_target,
+            cache: Arc::clone(cache),
+        });
+        let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
+        for (home, worker) in self.workers.iter().take(jobs).enumerate() {
+            worker
+                .assignments
+                .as_ref()
+                .expect("pool is alive while the engine exists")
+                .send(Assignment {
+                    job: Arc::clone(&job),
+                    home,
+                    results: sender.clone(),
+                })
+                .expect("engine worker thread is alive");
+        }
+        drop(sender);
+        Ok(assemble_outcome(
+            suite,
+            prepared.resolved,
+            receiver,
+            settings,
+            &job.cache,
+            &job.counters,
+            jobs,
+            start,
+        ))
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the assignment channels wakes every parked worker into a
+        // clean exit; then join so no thread outlives the pool.
+        for worker in &mut self.workers {
+            worker.assignments.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_suite, PanicInjection};
+    use crate::scenario::{Scenario, SweepSpec, WorkloadSpec};
+    use crate::suites::smoke_suite;
+    use crate::SuiteReport;
+    use bbs_taskgraph::presets::PresetSpec;
+
+    fn pc_sweep_scenario(name: &str) -> Scenario {
+        Scenario::new(
+            name,
+            WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+        )
+        .with_sweep(SweepSpec::range(1, 6))
+    }
+
+    #[test]
+    fn pooled_reports_match_the_scoped_executor() {
+        let suite = Suite::new("pool", vec![pc_sweep_scenario("a"), pc_sweep_scenario("b")]);
+        let engine = Engine::new(8);
+        for (jobs, steal) in [(1, true), (8, true), (8, false)] {
+            let settings = RunSettings {
+                jobs,
+                steal,
+                ..RunSettings::default()
+            };
+            let scoped = SuiteReport::from_outcome(&run_suite(&suite, &settings).unwrap());
+            let pooled = SuiteReport::from_outcome(&engine.run_suite(&suite, &settings).unwrap());
+            assert_eq!(
+                scoped.to_json(),
+                pooled.to_json(),
+                "jobs={jobs} steal={steal}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_pool_serves_many_runs_and_shares_the_cache() {
+        let engine = Engine::new(4);
+        let cache = Arc::new(SolveCache::new());
+        let settings = RunSettings::with_jobs(4);
+        let suite = Suite::new("repeat", vec![pc_sweep_scenario("pc")]);
+        let first = engine
+            .run_suite_with_cache(&suite, &settings, &cache)
+            .unwrap();
+        assert_eq!(first.cache.misses, 6);
+        let second = engine
+            .run_suite_with_cache(&suite, &settings, &cache)
+            .unwrap();
+        assert_eq!(second.cache.misses, 6, "no new solves on the second run");
+        assert_eq!(second.cache.hits, 6);
+    }
+
+    #[test]
+    fn jobs_beyond_the_pool_size_are_clamped() {
+        let engine = Engine::new(2);
+        let outcome = engine
+            .run_suite(
+                &Suite::new("clamp", vec![pc_sweep_scenario("pc")]),
+                &RunSettings::with_jobs(64),
+            )
+            .unwrap();
+        assert_eq!(outcome.executor.workers, 2);
+        assert!(outcome.unexpected_failures().is_empty());
+    }
+
+    #[test]
+    fn pooled_panic_injection_is_a_per_point_error_and_the_pool_survives() {
+        let engine = Engine::new(4);
+        let suite = Suite::new("faulted", vec![pc_sweep_scenario("a")]);
+        let settings = RunSettings {
+            jobs: 4,
+            inject_panic: Some(PanicInjection {
+                scenario: "a".to_string(),
+                capacity_cap: Some(3),
+            }),
+            ..RunSettings::default()
+        };
+        let outcome = engine.run_suite(&suite, &settings).unwrap();
+        assert_eq!(outcome.executor.caught_panics, 1);
+        assert_eq!(outcome.unexpected_failures().len(), 1);
+        // The same pool keeps working after catching a panic.
+        let healthy = engine
+            .run_suite(&smoke_suite(), &RunSettings::with_jobs(4))
+            .unwrap();
+        assert!(healthy.unexpected_failures().is_empty());
+    }
+
+    #[test]
+    fn invalid_suites_error_without_touching_the_pool() {
+        let engine = Engine::new(2);
+        let empty = Suite::new("empty", Vec::new());
+        assert!(engine.run_suite(&empty, &RunSettings::default()).is_err());
+        // Still healthy.
+        let outcome = engine
+            .run_suite(&smoke_suite(), &RunSettings::default())
+            .unwrap();
+        assert!(outcome.unexpected_failures().is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 //! problem instance. The store closes that gap: each completed solve is
 //! written to a directory keyed by the same canonical identity the in-memory
 //! cache uses — the (configuration, options, flow) triple of the
-//! [`CacheKey`] — and later runs (of any process) read it back instead of
+//! [`CanonicalKey`] — and later runs (of any process) read it back instead of
 //! solving again.
 //!
 //! # Layout
@@ -70,7 +70,7 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
-use crate::cache::CacheKey;
+use crate::cache::CanonicalKey;
 use bbs_taskgraph::{fnv1a, BufferRef, Configuration, MemoryId, ProcessorId, TaskRef};
 use budget_buffer::{Mapping, MappingError};
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, SystemTime};
 
 /// Version of the on-disk entry format. Entries live under a `v<N>`
@@ -210,6 +211,15 @@ pub struct SolveStore {
     fresh_solves: AtomicU64,
     stored: AtomicU64,
     rejected: AtomicU64,
+    /// Automatic size cap enforced on the write path (see
+    /// [`SolveStore::with_max_entries`]); `None` leaves growth to manual
+    /// `bbs cache gc`.
+    max_entries: Option<u64>,
+    /// Entry-count estimate maintained by the cap enforcement: `None` means
+    /// "unknown, rescan before the next decision". Deliberately approximate
+    /// — overwrites and concurrent writers drift it upward, which only
+    /// makes enforcement run (and resynchronise from a real scan) earlier.
+    tracked_entries: Mutex<Option<u64>>,
 }
 
 /// Process-global distinguisher for temporary file names: two
@@ -233,6 +243,8 @@ impl SolveStore {
             fresh_solves: AtomicU64::new(0),
             stored: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            max_entries: None,
+            tracked_entries: Mutex::new(None),
         })
     }
 
@@ -257,7 +269,31 @@ impl SolveStore {
             fresh_solves: AtomicU64::new(0),
             stored: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            max_entries: None,
+            tracked_entries: Mutex::new(None),
         })
+    }
+
+    /// Enforces an automatic size cap on the write path: whenever a write
+    /// pushes the store beyond `max_entries`, the same deterministic
+    /// retention pass `bbs cache gc --max-entries` runs evicts oldest-first
+    /// (mtime order, ties broken by path) back down to the cap. A cap of 0
+    /// is accepted and keeps the store empty.
+    ///
+    /// The enforcement keeps an entry-count estimate so the common case
+    /// (under the cap) costs one counter bump per write; the estimate is
+    /// (re)synchronised from a directory scan when unknown or after every
+    /// eviction pass, so concurrent writers and overwrites can only make
+    /// enforcement run early, never miss the bound for long.
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: u64) -> Self {
+        self.max_entries = Some(max_entries);
+        self
+    }
+
+    /// The automatic size cap, when one was set.
+    pub fn max_entries(&self) -> Option<u64> {
+        self.max_entries
     }
 
     /// The directory the store was opened at.
@@ -282,7 +318,7 @@ impl SolveStore {
     /// foreign-versioned, or it belongs to a hash-colliding different key.
     pub fn load(
         &self,
-        key: &CacheKey,
+        key: &CanonicalKey,
         configuration: &Configuration,
     ) -> Option<Result<Mapping, MappingError>> {
         debug_assert_eq!(
@@ -304,7 +340,7 @@ impl SolveStore {
 
     fn try_load(
         &self,
-        key: &CacheKey,
+        key: &CanonicalKey,
         configuration: &Configuration,
     ) -> Option<Result<Mapping, MappingError>> {
         let path = self.entry_path(key);
@@ -351,7 +387,7 @@ impl SolveStore {
     /// non-persistable errors (solver breakdowns, model errors,
     /// verification failures — see the [module docs](self)) are skipped
     /// silently; the next run simply solves again.
-    pub fn save(&self, key: &CacheKey, result: &Result<Mapping, MappingError>) {
+    pub fn save(&self, key: &CanonicalKey, result: &Result<Mapping, MappingError>) {
         let outcome = match result {
             Ok(mapping) => (Some(encode_mapping(mapping)), None),
             Err(error) => match encode_infeasibility(error) {
@@ -374,6 +410,43 @@ impl SolveStore {
         text.push('\n');
         if self.write_atomically(&self.entry_path(key), &text).is_ok() {
             self.stored.fetch_add(1, Ordering::Relaxed);
+            self.enforce_max_entries();
+        }
+    }
+
+    /// The write-path half of the automatic size cap (see
+    /// [`SolveStore::with_max_entries`]): bump or rebuild the entry-count
+    /// estimate and, when it exceeds the cap, run the same pure
+    /// [`plan_gc`]-backed eviction `bbs cache gc` uses.
+    fn enforce_max_entries(&self) {
+        let Some(cap) = self.max_entries else { return };
+        let mut tracked = self
+            .tracked_entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let estimate = match tracked.take() {
+            Some(count) => count.saturating_add(1),
+            // Unknown (first capped write of this process, or a previous
+            // enforcement failed): resynchronise from a real scan. The
+            // entry just written is already on disk, so the scan includes
+            // it.
+            None => match self.entries() {
+                Ok(scan) => scan.len() as u64,
+                // Unreadable tree: leave the estimate unknown and retry on
+                // the next write — the cap is best-effort, like `save`.
+                Err(_) => return,
+            },
+        };
+        if estimate > cap {
+            match self.gc(GcPolicy {
+                max_entries: Some(cap),
+                max_age: None,
+            }) {
+                Ok(outcome) => *tracked = Some(outcome.kept),
+                Err(_) => *tracked = None,
+            }
+        } else {
+            *tracked = Some(estimate);
         }
     }
 
@@ -398,7 +471,7 @@ impl SolveStore {
 
     /// The entry file for `key`:
     /// `<root>/v<schema>/<hh>/<16-hex-digit key hash>.json`.
-    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+    fn entry_path(&self, key: &CanonicalKey) -> PathBuf {
         let hex = format!("{:016x}", store_hash(key));
         version_dir(&self.root).join(&hex[..2]).join(hex + ".json")
     }
@@ -587,7 +660,7 @@ fn plan_gc(
 
 /// The content address of a key: FNV-1a over the full canonical identity.
 /// NUL separators keep `(configuration, options)` splits unambiguous.
-fn store_hash(key: &CacheKey) -> u64 {
+fn store_hash(key: &CanonicalKey) -> u64 {
     let mut bytes =
         Vec::with_capacity(key.configuration.len() + key.options.len() + key.flow.len() + 2);
     bytes.extend_from_slice(key.configuration.as_bytes());
@@ -754,11 +827,11 @@ mod tests {
     use bbs_taskgraph::{BufferId, TaskGraphId, TaskId};
     use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
 
-    fn solved() -> (Configuration, CacheKey, Result<Mapping, MappingError>) {
+    fn solved() -> (Configuration, CanonicalKey, Result<Mapping, MappingError>) {
         let configuration =
             with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 4);
         let options = SolveOptions::default().prefer_budget_minimisation();
-        let key = CacheKey::new(&configuration, &options, "joint");
+        let key = CanonicalKey::from_parts(&configuration, &options, "joint");
         let result = compute_mapping(&configuration, &options);
         (configuration, key, result)
     }
@@ -917,7 +990,7 @@ mod tests {
         let options = SolveOptions::default().prefer_budget_minimisation();
         for cap in 1..=4u64 {
             let configuration = with_capacity_cap(&base, cap);
-            let key = CacheKey::new(&configuration, &options, "joint");
+            let key = CanonicalKey::from_parts(&configuration, &options, "joint");
             store.save(&key, &compute_mapping(&configuration, &options));
         }
         assert_eq!(store.summary().unwrap().entries, 4);
@@ -1016,7 +1089,7 @@ mod tests {
             }
             for &cap in &caps {
                 let configuration = with_capacity_cap(&base, cap);
-                let key = CacheKey::new(&configuration, &options, "joint");
+                let key = CanonicalKey::from_parts(&configuration, &options, "joint");
                 store.save(&key, &compute_mapping(&configuration, &options));
             }
 
@@ -1054,6 +1127,57 @@ mod tests {
     }
 
     #[test]
+    fn automatic_size_cap_bounds_the_store_on_the_write_path() {
+        let directory = TempDir::new("auto-cap");
+        let store = SolveStore::open(directory.path())
+            .unwrap()
+            .with_max_entries(2);
+        assert_eq!(store.max_entries(), Some(2));
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = SolveOptions::default().prefer_budget_minimisation();
+        for cap in 1..=5u64 {
+            let configuration = with_capacity_cap(&base, cap);
+            let key = CanonicalKey::from_parts(&configuration, &options, "joint");
+            store.save(&key, &compute_mapping(&configuration, &options));
+            assert!(
+                store.summary().unwrap().entries <= 2,
+                "the cap must hold after every write"
+            );
+        }
+        assert_eq!(store.summary().unwrap().entries, 2);
+        // All five writes happened; the cap evicts, it does not block.
+        assert_eq!(store.stats().stored, 5);
+    }
+
+    #[test]
+    fn overwriting_one_key_under_a_cap_keeps_the_entry() {
+        let directory = TempDir::new("auto-cap-overwrite");
+        let store = SolveStore::open(directory.path())
+            .unwrap()
+            .with_max_entries(1);
+        let (configuration, key, result) = solved();
+        for _ in 0..3 {
+            store.save(&key, &result);
+        }
+        assert_eq!(store.summary().unwrap().entries, 1);
+        assert!(store.load(&key, &configuration).is_some());
+    }
+
+    #[test]
+    fn uncapped_stores_never_run_the_write_path_gc() {
+        let directory = TempDir::new("no-cap");
+        let store = SolveStore::open(directory.path()).unwrap();
+        let base = producer_consumer(PaperParameters::default(), None);
+        let options = SolveOptions::default().prefer_budget_minimisation();
+        for cap in 1..=4u64 {
+            let configuration = with_capacity_cap(&base, cap);
+            let key = CanonicalKey::from_parts(&configuration, &options, "joint");
+            store.save(&key, &compute_mapping(&configuration, &options));
+        }
+        assert_eq!(store.summary().unwrap().entries, 4);
+    }
+
+    #[test]
     fn summary_counts_feasible_infeasible_and_corrupt() {
         let directory = TempDir::new("summary");
         let store = SolveStore::open(directory.path()).unwrap();
@@ -1062,7 +1186,8 @@ mod tests {
         let infeasible_configuration =
             with_capacity_cap(&producer_consumer(PaperParameters::default(), None), 2);
         let options = SolveOptions::default().prefer_budget_minimisation();
-        let infeasible_key = CacheKey::new(&infeasible_configuration, &options, "two-phase-min");
+        let infeasible_key =
+            CanonicalKey::from_parts(&infeasible_configuration, &options, "two-phase-min");
         store.save(
             &infeasible_key,
             &Err(MappingError::Infeasible {

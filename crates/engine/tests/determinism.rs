@@ -3,9 +3,9 @@
 //! The serialisable report must be a pure function of the suite definition:
 //! identical bytes across worker counts, cache settings and repeated runs.
 
-use bbs_engine::suites::smoke_suite;
+use bbs_engine::suites::{paper_plus_suite, smoke_suite};
 use bbs_engine::{
-    run_suite, CacheKey, RunSettings, Scenario, SolveCache, Suite, SuiteReport, SweepSpec,
+    run_suite, CacheKey, Engine, RunSettings, Scenario, SolveCache, Suite, SuiteReport, SweepSpec,
     WorkloadSpec,
 };
 use bbs_taskgraph::presets::PresetSpec;
@@ -80,6 +80,23 @@ fn reports_do_not_depend_on_the_cache() {
 }
 
 #[test]
+fn pooled_and_per_run_executors_report_byte_identically_on_paper_plus() {
+    // The full paper-plus suite through the reusable Engine pool versus the
+    // scoped per-run executor, at one and at eight workers — reports must
+    // be byte-identical (and the pool is reused across all four runs).
+    let suite = paper_plus_suite();
+    let engine = Engine::new(8);
+    for jobs in [1usize, 8] {
+        let settings = RunSettings::with_jobs(jobs);
+        let fresh = report_json(&suite, &settings);
+        let pooled =
+            SuiteReport::from_outcome(&engine.run_suite(&suite, &settings).expect("suite runs"))
+                .to_json();
+        assert_eq!(fresh, pooled, "pooled vs fresh diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
 fn suite_with_expected_infeasible_points_is_still_deterministic() {
     let suite = Suite::new(
         "edge",
@@ -120,10 +137,11 @@ proptest! {
 
         let cache = SolveCache::new();
         let key = CacheKey::new(&configuration, &options, "joint");
+        let canonical = || panic!("no disk tier: the canonical key must stay unmaterialised");
         let (first, source_first) =
-            cache.solve_with(key.clone(), &configuration, || compute_mapping(&configuration, &options));
+            cache.solve_with(key, &configuration, canonical, || compute_mapping(&configuration, &options));
         let (hit_result, source_second) =
-            cache.solve_with(key, &configuration, || panic!("second lookup must not solve"));
+            cache.solve_with(key, &configuration, canonical, || panic!("second lookup must not solve"));
         let fresh = compute_mapping(&configuration, &options);
 
         prop_assert!(!source_first.is_hit());

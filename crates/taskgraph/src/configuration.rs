@@ -266,13 +266,19 @@ impl Configuration {
         serde_json::to_string(self).expect("configuration serialises to JSON")
     }
 
-    /// A 64-bit FNV-1a fingerprint of [`Configuration::canonical_json`].
-    ///
-    /// Used as a memoization key by the batch-solving engine: two
-    /// configurations with equal fingerprints are, for all practical
-    /// purposes, the same problem instance.
+    /// A 64-bit FNV-1a fingerprint of [`Configuration::canonical_json`] —
+    /// the low lane of [`Configuration::canonical_digest`], computed by
+    /// streaming (no JSON string is materialised).
     pub fn canonical_fingerprint(&self) -> u64 {
-        fnv1a(self.canonical_json().as_bytes())
+        self.canonical_digest().lo
+    }
+
+    /// The 128-bit streaming [`CanonicalDigest`](crate::CanonicalDigest) of
+    /// the configuration: hashes the canonical JSON byte stream without
+    /// building it. The batch-solving engine derives its cache keys from
+    /// this digest; the low lane equals [`Configuration::canonical_fingerprint`].
+    pub fn canonical_digest(&self) -> crate::CanonicalDigest {
+        crate::canonical_digest_of(self)
     }
 }
 

@@ -29,6 +29,7 @@
 
 mod buffer;
 mod builder;
+mod canonical;
 mod configuration;
 mod error;
 mod graph;
@@ -43,6 +44,7 @@ pub use buffer::Buffer;
 pub use builder::{
     find_buffer, find_task, find_task_graph, ConfigurationBuilder, TaskGraphBuilder,
 };
+pub use canonical::{canonical_digest_of, CanonicalDigest, CanonicalHasher};
 pub use configuration::{fnv1a, Configuration};
 pub use error::ModelError;
 pub use graph::TaskGraph;

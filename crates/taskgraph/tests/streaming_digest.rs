@@ -1,0 +1,134 @@
+//! Property tests pinning the streaming digest to the canonical JSON bytes.
+//!
+//! The engine's cache keys are derived from [`CanonicalDigest`]s instead of
+//! canonical-JSON strings; that is only sound if the streaming byte feed is
+//! exactly the serialised text. The property below generates arbitrary
+//! *valid* configurations — including names that need every JSON escape
+//! class — and asserts the defining identity of the low lane:
+//! `digest.lo == fnv1a(canonical_json().as_bytes())`.
+
+use bbs_taskgraph::{
+    canonical_digest_of, fnv1a, Buffer, Configuration, Memory, Processor, ProcessorId, Task,
+    TaskGraph, TaskId,
+};
+use proptest::prelude::*;
+
+/// Splitmix64: a tiny deterministic stream of u64s from one seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Names drawn from a palette that exercises plain identifiers, every JSON
+/// escape class, multi-byte UTF-8 and control characters.
+fn name(mix: &mut Mix, role: &str, index: usize) -> String {
+    let decorations = [
+        "",
+        " space",
+        "\"quoted\"",
+        "back\\slash",
+        "line\nbreak",
+        "tab\there",
+        "carriage\rreturn",
+        "control\u{1}char",
+        "ünïcødé ✓",
+        "null\u{0}byte",
+    ];
+    let decoration = decorations[mix.pick(decorations.len() as u64) as usize];
+    format!("{role}{index}{decoration}")
+}
+
+/// Builds an arbitrary configuration that always passes
+/// [`Configuration::validate`]: every task's wcet stays below its graph's
+/// period, and every processor/memory reference is in range.
+fn arbitrary_valid_configuration(seed: u64) -> Configuration {
+    let mut mix = Mix(seed);
+    let mut configuration = Configuration::new();
+    configuration.set_budget_granularity(1 + mix.pick(16));
+
+    let processors = 1 + mix.pick(3) as usize;
+    for p in 0..processors {
+        let interval = 10.0 + mix.pick(100) as f64;
+        configuration.add_processor(Processor::new(name(&mut mix, "p", p), interval));
+    }
+    let memories = 1 + mix.pick(3) as usize;
+    for m in 0..memories {
+        let memory = if mix.pick(2) == 0 {
+            Memory::unbounded(name(&mut mix, "m", m))
+        } else {
+            Memory::new(name(&mut mix, "m", m), 1 + mix.pick(1000))
+        };
+        configuration.add_memory(memory);
+    }
+
+    let graphs = 1 + mix.pick(3) as usize;
+    for g in 0..graphs {
+        let period = 20.0 + mix.pick(80) as f64 + 0.25;
+        let mut graph = TaskGraph::new(name(&mut mix, "T", g), period);
+        let tasks = 1 + mix.pick(4) as usize;
+        for t in 0..tasks {
+            // Strictly below the period so validation's attainability check
+            // always passes.
+            let wcet = 0.5 + (mix.pick(1000) as f64 / 1000.0) * (period * 0.9);
+            let processor = ProcessorId::new(mix.pick(processors as u64) as usize);
+            graph.add_task(Task::new(name(&mut mix, "w", t), wcet, processor));
+        }
+        let buffers = mix.pick(4) as usize;
+        for b in 0..buffers {
+            let producer = TaskId::new(mix.pick(tasks as u64) as usize);
+            let consumer = TaskId::new(mix.pick(tasks as u64) as usize);
+            let memory = bbs_taskgraph::MemoryId::new(mix.pick(memories as u64) as usize);
+            let mut buffer = Buffer::new(name(&mut mix, "b", b), producer, consumer, memory)
+                .with_container_size(1 + mix.pick(8))
+                .with_initial_tokens(mix.pick(3));
+            if mix.pick(2) == 0 {
+                buffer = buffer.with_max_capacity(1 + mix.pick(12));
+            }
+            graph.add_buffer(buffer);
+        }
+        configuration.add_task_graph(graph);
+    }
+    configuration
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_digest_low_lane_equals_fnv_of_canonical_json(seed in 0u64..u64::MAX) {
+        let configuration = arbitrary_valid_configuration(seed);
+        prop_assert!(configuration.validate().is_ok(), "generator must stay valid");
+        let json = configuration.canonical_json();
+        let digest = configuration.canonical_digest();
+        // The defining identity of the low lane.
+        prop_assert_eq!(digest.lo, fnv1a(json.as_bytes()));
+        // The fingerprint API and the generic digest helper agree with it.
+        prop_assert_eq!(configuration.canonical_fingerprint(), digest.lo);
+        prop_assert_eq!(canonical_digest_of(&configuration), digest);
+        // The streamed bytes themselves are the canonical JSON.
+        let mut streamed = String::new();
+        serde::Serialize::serialize_canonical(&configuration, &mut streamed);
+        prop_assert_eq!(streamed, json);
+    }
+
+    #[test]
+    fn equal_configurations_share_digests_and_perturbations_do_not(seed in 0u64..u64::MAX) {
+        let a = arbitrary_valid_configuration(seed);
+        let b = arbitrary_valid_configuration(seed);
+        prop_assert_eq!(a.canonical_digest(), b.canonical_digest());
+        let mut c = arbitrary_valid_configuration(seed);
+        c.set_budget_granularity(a.budget_granularity() + 17);
+        prop_assert_ne!(a.canonical_digest(), c.canonical_digest());
+    }
+}

@@ -7,16 +7,43 @@
 //! `criterion_group!` / `criterion_main!` macros (`harness = false` targets).
 //!
 //! Every benchmark runs a fixed warm-up pass first, then times each sample
-//! individually and reports mean, median and standard deviation over the
-//! samples — enough statistics to tell noise from a real regression, with
-//! none of real criterion's outlier classification or HTML reports.
+//! individually, rejects outliers with Tukey's IQR fences, and reports
+//! mean, median and standard deviation over the surviving samples.
+//!
+//! # Baselines and cross-run comparison
+//!
+//! `harness = false` bench binaries accept (and otherwise ignore) CLI
+//! flags, so `cargo bench -- <flags>` drives them:
+//!
+//! * `--save-baseline PATH` — after all groups ran, write (merge) the
+//!   results into a JSON baseline file. Existing records with the same
+//!   benchmark id are replaced, others are kept, the file is sorted by id —
+//!   so running several bench targets against one path accumulates a full
+//!   baseline.
+//! * `--baseline PATH` — compare every benchmark against the record of the
+//!   same id in a baseline file and print the mean/median deltas. Deltas
+//!   beyond `--threshold PCT` (default 25%) are flagged `WARN`; the process
+//!   exit code is *not* affected (warn-only, so noisy CI machines cannot
+//!   fail a build on timing).
+//! * `--quick` — cap the per-benchmark sample count (for CI smoke runs).
+//!
+//! Unknown flags (such as the `--bench` cargo passes) are ignored, as real
+//! criterion does.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Warm-up iterations executed (and discarded) before the timed samples,
 /// so cold caches and lazy initialisation do not pollute the first sample.
 const WARM_UP_ITERATIONS: usize = 3;
+
+/// Per-benchmark sample cap under `--quick`.
+const QUICK_SAMPLE_CAP: usize = 5;
+
+/// Schema version of the baseline JSON file.
+const BASELINE_SCHEMA: u64 = 1;
 
 /// Summary statistics over the timed samples of one benchmark.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,6 +79,157 @@ impl SampleStats {
     }
 }
 
+/// Linearly interpolated percentile of an ascending-sorted slice
+/// (`p` in `0.0..=1.0`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let position = p * (sorted.len() - 1) as f64;
+    let below = position.floor() as usize;
+    let above = position.ceil() as usize;
+    let fraction = position - below as f64;
+    sorted[below] + (sorted[above] - sorted[below]) * fraction
+}
+
+/// Tukey IQR outlier rejection: samples outside
+/// `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]` are dropped. Returns the surviving
+/// samples (order preserved) and the number rejected. Fewer than four
+/// samples are returned unchanged — quartiles of so few points are noise.
+pub fn reject_outliers_iqr(samples: &[Duration]) -> (Vec<Duration>, usize) {
+    if samples.len() < 4 {
+        return (samples.to_vec(), 0);
+    }
+    let mut sorted: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let q1 = percentile(&sorted, 0.25);
+    let q3 = percentile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (low, high) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<Duration> = samples
+        .iter()
+        .copied()
+        .filter(|s| {
+            let s = s.as_secs_f64();
+            s >= low && s <= high
+        })
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
+}
+
+/// One benchmark's record in a baseline file (all times in nanoseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Fully qualified benchmark id (`group/function`).
+    pub id: String,
+    /// Mean over the outlier-rejected samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median over the outlier-rejected samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Population standard deviation, in nanoseconds.
+    pub std_dev_ns: f64,
+    /// Samples surviving outlier rejection.
+    pub samples: u64,
+    /// Samples rejected by the IQR fences.
+    pub rejected_outliers: u64,
+}
+
+/// The baseline file: a schema gate plus one record per benchmark id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// Format version (currently 1).
+    pub schema: u64,
+    /// Records, sorted by id.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+/// Merges `fresh` records into `existing`: same-id records are replaced,
+/// everything else kept, result sorted by id — the merge rule behind
+/// `--save-baseline`, split out for tests.
+pub fn merge_records(existing: Vec<BenchRecord>, fresh: &[BenchRecord]) -> Vec<BenchRecord> {
+    let mut merged: Vec<BenchRecord> = existing
+        .into_iter()
+        .filter(|record| !fresh.iter().any(|f| f.id == record.id))
+        .collect();
+    merged.extend(fresh.iter().cloned());
+    merged.sort_by(|a, b| a.id.cmp(&b.id));
+    merged
+}
+
+/// One line of `--baseline` comparison output, plus whether it tripped the
+/// warn threshold. Positive deltas are regressions (slower than baseline).
+pub fn compare_record(
+    current: &BenchRecord,
+    baseline: &BenchRecord,
+    threshold: f64,
+) -> (String, bool) {
+    let delta = |now: f64, then: f64| {
+        if then > 0.0 {
+            (now - then) / then * 100.0
+        } else {
+            0.0
+        }
+    };
+    let mean_delta = delta(current.mean_ns, baseline.mean_ns);
+    let median_delta = delta(current.median_ns, baseline.median_ns);
+    // Warn on the *median* delta: the mean is what one stray scheduler
+    // stall distorts, and the IQR pass cannot catch drift spread over many
+    // samples the way the median discounts it.
+    let warn = median_delta.abs() > threshold;
+    let marker = if !warn {
+        "ok  "
+    } else if median_delta > 0.0 {
+        "WARN regression"
+    } else {
+        "WARN improvement (update the baseline?)"
+    };
+    (
+        format!(
+            "cmp   {:<50} mean {:>+8.1}% median {:>+8.1}% vs baseline  {marker}",
+            current.id, mean_delta, median_delta
+        ),
+        warn,
+    )
+}
+
+/// Results of every benchmark run so far in this process (drained by
+/// [`finalize`]).
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// CLI configuration of this bench process.
+#[derive(Debug, Clone, Default)]
+struct CliConfig {
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+    threshold_percent: f64,
+    quick: bool,
+}
+
+fn cli_config() -> &'static CliConfig {
+    static CONFIG: OnceLock<CliConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut config = CliConfig {
+            threshold_percent: 25.0,
+            ..CliConfig::default()
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--save-baseline" => config.save_baseline = args.next(),
+                "--baseline" => config.baseline = args.next(),
+                "--threshold" => {
+                    if let Some(value) = args.next().and_then(|raw| raw.parse::<f64>().ok()) {
+                        config.threshold_percent = value;
+                    }
+                }
+                "--quick" => config.quick = true,
+                // Cargo passes `--bench` (and users may pass filters);
+                // real criterion ignores what it does not know, so do we.
+                _ => {}
+            }
+        }
+        config
+    })
+}
+
 pub use std::hint::black_box;
 
 /// Identifier for one benchmark within a group.
@@ -85,24 +263,22 @@ impl fmt::Display for BenchmarkId {
 /// Drives the closure under measurement.
 pub struct Bencher {
     sample_size: usize,
-    stats: SampleStats,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Runs the fixed warm-up pass, then times `routine` once per sample
-    /// and records mean/median/standard deviation.
+    /// Runs the fixed warm-up pass, then times `routine` once per sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         for _ in 0..WARM_UP_ITERATIONS {
             black_box(routine());
         }
-        let samples: Vec<Duration> = (0..self.sample_size)
+        self.samples = (0..self.sample_size)
             .map(|_| {
                 let start = Instant::now();
                 black_box(routine());
                 start.elapsed()
             })
             .collect();
-        self.stats = SampleStats::from_samples(&samples);
     }
 }
 
@@ -179,17 +355,98 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let config = cli_config();
+    let sample_size = if config.quick {
+        sample_size.min(QUICK_SAMPLE_CAP)
+    } else {
+        sample_size
+    };
     let mut bencher = Bencher {
         sample_size,
-        stats: SampleStats::default(),
+        samples: Vec::new(),
     };
     f(&mut bencher);
-    let stats = bencher.stats;
+    let (kept, rejected) = reject_outliers_iqr(&bencher.samples);
+    let stats = SampleStats::from_samples(&kept);
     println!(
         "bench {id:<50} mean {:>12.3?} median {:>12.3?} stddev {:>12.3?} \
-         ({sample_size} samples, {WARM_UP_ITERATIONS} warm-up)",
-        stats.mean, stats.median, stats.std_dev
+         ({} samples, {rejected} outliers rejected, {WARM_UP_ITERATIONS} warm-up)",
+        stats.mean,
+        stats.median,
+        stats.std_dev,
+        kept.len(),
     );
+    RESULTS
+        .lock()
+        .expect("bench registry lock")
+        .push(BenchRecord {
+            id: id.to_string(),
+            mean_ns: stats.mean.as_secs_f64() * 1e9,
+            median_ns: stats.median.as_secs_f64() * 1e9,
+            std_dev_ns: stats.std_dev.as_secs_f64() * 1e9,
+            samples: kept.len() as u64,
+            rejected_outliers: rejected as u64,
+        });
+}
+
+/// Runs the end-of-process baseline actions (`--save-baseline` /
+/// `--baseline`). Called automatically by [`criterion_main!`] after every
+/// group ran; draining the registry makes repeated calls harmless.
+pub fn finalize() {
+    let records: Vec<BenchRecord> = std::mem::take(&mut *RESULTS.lock().expect("bench registry"));
+    if records.is_empty() {
+        return;
+    }
+    let config = cli_config();
+    if let Some(path) = &config.baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<BaselineFile>(&text).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) if baseline.schema == BASELINE_SCHEMA => {
+                let mut warnings = 0usize;
+                for record in &records {
+                    match baseline.benchmarks.iter().find(|b| b.id == record.id) {
+                        Some(reference) => {
+                            let (line, warned) =
+                                compare_record(record, reference, config.threshold_percent);
+                            println!("{line}");
+                            warnings += usize::from(warned);
+                        }
+                        None => println!("cmp   {:<50} (not in baseline)", record.id),
+                    }
+                }
+                println!(
+                    "cmp   {} benchmarks vs {path}: {warnings} beyond ±{}% (warn-only)",
+                    records.len(),
+                    config.threshold_percent
+                );
+            }
+            Ok(_) => eprintln!("criterion: baseline {path} has a foreign schema; skipped"),
+            Err(error) => eprintln!("criterion: cannot read baseline {path}: {error}"),
+        }
+    }
+    if let Some(path) = &config.save_baseline {
+        let existing = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<BaselineFile>(&text).ok())
+            .filter(|file| file.schema == BASELINE_SCHEMA)
+            .map(|file| file.benchmarks)
+            .unwrap_or_default();
+        let file = BaselineFile {
+            schema: BASELINE_SCHEMA,
+            benchmarks: merge_records(existing, &records),
+        };
+        let mut text = serde_json::to_string_pretty(&file).expect("baseline serialises to JSON");
+        text.push('\n');
+        match std::fs::write(path, text) {
+            Ok(()) => println!(
+                "saved {} benchmarks to baseline {path}",
+                file.benchmarks.len()
+            ),
+            Err(error) => eprintln!("criterion: cannot write baseline {path}: {error}"),
+        }
+    }
 }
 
 /// Declares a benchmark group function that runs each target in order.
@@ -203,12 +460,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the `main` function for a `harness = false` bench target.
+/// Declares the `main` function for a `harness = false` bench target: runs
+/// every group, then the baseline save/compare actions.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -219,6 +478,17 @@ mod tests {
 
     fn micros(values: &[u64]) -> Vec<Duration> {
         values.iter().map(|&v| Duration::from_micros(v)).collect()
+    }
+
+    fn record(id: &str, mean_ns: f64, median_ns: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            mean_ns,
+            median_ns,
+            std_dev_ns: 0.0,
+            samples: 10,
+            rejected_outliers: 0,
+        }
     }
 
     #[test]
@@ -246,12 +516,74 @@ mod tests {
     }
 
     #[test]
-    fn bencher_records_statistics() {
+    fn iqr_rejects_the_stray_spike_but_not_the_spread() {
+        let (kept, rejected) = reject_outliers_iqr(&micros(&[10, 11, 10, 12, 11, 10, 500]));
+        assert_eq!(rejected, 1);
+        assert_eq!(kept, micros(&[10, 11, 10, 12, 11, 10]));
+        // A tight-but-noisy distribution loses nothing.
+        let (kept, rejected) = reject_outliers_iqr(&micros(&[10, 11, 12, 13, 14, 15]));
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 6);
+    }
+
+    #[test]
+    fn iqr_leaves_tiny_sample_sets_alone() {
+        let (kept, rejected) = reject_outliers_iqr(&micros(&[1, 1000, 2]));
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn iqr_rejection_makes_the_mean_robust_too() {
+        let samples = micros(&[10, 10, 10, 10, 1000]);
+        let (kept, rejected) = reject_outliers_iqr(&samples);
+        assert_eq!(rejected, 1);
+        let stats = SampleStats::from_samples(&kept);
+        assert_eq!(stats.mean, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn bencher_records_samples() {
         let mut bencher = Bencher {
             sample_size: 8,
-            stats: SampleStats::default(),
+            samples: Vec::new(),
         };
         bencher.iter(|| std::hint::black_box(1 + 1));
-        assert!(bencher.stats.mean > Duration::ZERO || bencher.stats.median >= Duration::ZERO);
+        assert_eq!(bencher.samples.len(), 8);
+    }
+
+    #[test]
+    fn merge_replaces_same_ids_and_sorts() {
+        let existing = vec![record("b/x", 1.0, 1.0), record("a/y", 2.0, 2.0)];
+        let fresh = vec![record("b/x", 9.0, 9.0), record("c/z", 3.0, 3.0)];
+        let merged = merge_records(existing, &fresh);
+        let ids: Vec<&str> = merged.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["a/y", "b/x", "c/z"]);
+        assert_eq!(merged[1].mean_ns, 9.0, "fresh record wins");
+    }
+
+    #[test]
+    fn comparison_warns_on_the_median_beyond_the_threshold() {
+        let baseline = record("g/f", 100.0, 100.0);
+        let (line, warn) = compare_record(&record("g/f", 110.0, 110.0), &baseline, 25.0);
+        assert!(!warn, "10% is within a 25% threshold: {line}");
+        let (line, warn) = compare_record(&record("g/f", 140.0, 140.0), &baseline, 25.0);
+        assert!(warn && line.contains("WARN regression"), "{line}");
+        let (line, warn) = compare_record(&record("g/f", 40.0, 40.0), &baseline, 25.0);
+        assert!(warn && line.contains("improvement"), "{line}");
+        // A mean-only spike (stray stall) does not warn.
+        let (line, warn) = compare_record(&record("g/f", 400.0, 104.0), &baseline, 25.0);
+        assert!(!warn, "median within threshold must not warn: {line}");
+    }
+
+    #[test]
+    fn baseline_file_round_trips_through_json() {
+        let file = BaselineFile {
+            schema: BASELINE_SCHEMA,
+            benchmarks: vec![record("a/b", 1.5, 1.25)],
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: BaselineFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
     }
 }

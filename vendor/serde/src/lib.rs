@@ -5,10 +5,18 @@
 //! suite uses: `#[derive(Serialize, Deserialize)]` on plain structs, and JSON
 //! round-tripping through [`serde_json`](../serde_json/index.html).
 //!
-//! Unlike the real serde, serialization goes through an owned [`Value`] tree
-//! rather than a streaming `Serializer`/`Deserializer` pair. That keeps the
+//! Deserialization (and pretty-printing) goes through an owned [`Value`]
+//! tree rather than real serde's streaming `Deserializer`, which keeps the
 //! shim tiny while preserving the property the test-suite relies on:
 //! `from_str(&to_string(&x)?)? == x` for every derived type.
+//!
+//! Serialization additionally supports a *streaming* path: every
+//! [`Serialize`] type can feed its canonical (compact) JSON bytes straight
+//! into a [`Serializer`] sink via [`Serialize::serialize_canonical`],
+//! without building a `Value` tree or allocating. The derive macro and all
+//! built-in impls stream directly; the bytes are identical to
+//! `serde_json::to_string`. This is what makes content-addressed hashing of
+//! large models allocation-free (see `bbs_taskgraph::CanonicalHasher`).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -73,10 +81,157 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// A streaming byte sink receiving canonical (compact) JSON.
+///
+/// The chunks arrive in order and concatenate to exactly the bytes
+/// `serde_json::to_string` would produce for the same value; chunk
+/// boundaries are unspecified. Implementors are typically hashers (consume
+/// the bytes without storing them) or growable buffers.
+pub trait Serializer {
+    /// Receives the next chunk of canonical JSON bytes.
+    fn write_bytes(&mut self, bytes: &[u8]);
+}
+
+impl Serializer for String {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.push_str(std::str::from_utf8(bytes).expect("canonical JSON chunks are UTF-8"));
+    }
+}
+
+impl Serializer for Vec<u8> {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into an owned value tree.
     fn serialize(&self) -> Value;
+
+    /// Streams the canonical (compact) JSON of `self` into `out` —
+    /// byte-identical to `serde_json::to_string`, without building a
+    /// [`Value`] tree. Built-in impls and the derive macro override the
+    /// default with direct, allocation-free streaming; hand-written impls
+    /// inherit a tree-walking fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite floats (where `serde_json::to_string` returns
+    /// an error): a streaming sink has no error channel.
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_value(&self.serialize(), out);
+    }
+}
+
+/// The canonical compact-JSON writer behind the streaming serialization
+/// path (and `serde_json::to_string`, which shares it so both routes are
+/// byte-identical by construction).
+pub mod canonical {
+    use super::{Serializer, Value};
+    use std::fmt::{self, Write as _};
+
+    /// Adapts a [`Serializer`] into a [`fmt::Write`] so integer and float
+    /// formatting can stream through the standard (heap-free) formatting
+    /// machinery.
+    struct FmtChunks<'a>(&'a mut dyn Serializer);
+
+    impl fmt::Write for FmtChunks<'_> {
+        fn write_str(&mut self, chunk: &str) -> fmt::Result {
+            self.0.write_bytes(chunk.as_bytes());
+            Ok(())
+        }
+    }
+
+    /// Streams anything `Display` (used for integers, whose formatting
+    /// never allocates).
+    pub fn write_display(out: &mut dyn Serializer, value: impl fmt::Display) {
+        let _ = write!(FmtChunks(out), "{value}");
+    }
+
+    /// Streams a float with the round-trippable `{:?}` representation —
+    /// the same the tree writer uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values, which have no JSON representation.
+    pub fn write_f64(out: &mut dyn Serializer, value: f64) {
+        assert!(
+            value.is_finite(),
+            "cannot canonically serialize non-finite float"
+        );
+        let _ = write!(FmtChunks(out), "{value:?}");
+    }
+
+    /// Streams a JSON string literal with the canonical escaping rules
+    /// (also used by `serde_json`'s writers, so escaping cannot diverge).
+    pub fn write_json_string(out: &mut dyn Serializer, s: &str) {
+        out.write_bytes(b"\"");
+        let bytes = s.as_bytes();
+        let mut clean = 0; // start of the pending escape-free run
+        for (index, &byte) in bytes.iter().enumerate() {
+            let escape: Option<&[u8]> = match byte {
+                b'"' => Some(b"\\\""),
+                b'\\' => Some(b"\\\\"),
+                b'\n' => Some(b"\\n"),
+                b'\r' => Some(b"\\r"),
+                b'\t' => Some(b"\\t"),
+                byte if byte < 0x20 => None, // \u escape, formatted below
+                _ => continue,
+            };
+            out.write_bytes(&bytes[clean..index]);
+            clean = index + 1;
+            match escape {
+                Some(literal) => out.write_bytes(literal),
+                None => {
+                    let _ = write!(FmtChunks(out), "\\u{byte:04x}");
+                }
+            }
+        }
+        out.write_bytes(&bytes[clean..]);
+        out.write_bytes(b"\"");
+    }
+
+    /// Streams a [`Value`] tree as compact JSON — the fallback behind
+    /// [`Serialize::serialize_canonical`](super::Serialize) for
+    /// hand-written impls, and the core of `serde_json::to_string`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite floats (see [`write_f64`]).
+    pub fn write_value(value: &Value, out: &mut dyn Serializer) {
+        match value {
+            Value::Null => out.write_bytes(b"null"),
+            Value::Bool(true) => out.write_bytes(b"true"),
+            Value::Bool(false) => out.write_bytes(b"false"),
+            Value::Int(i) => write_display(out, i),
+            Value::UInt(u) => write_display(out, u),
+            Value::Float(f) => write_f64(out, *f),
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                out.write_bytes(b"[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_bytes(b",");
+                    }
+                    write_value(item, out);
+                }
+                out.write_bytes(b"]");
+            }
+            Value::Object(fields) => {
+                out.write_bytes(b"{");
+                for (i, (key, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.write_bytes(b",");
+                    }
+                    write_json_string(out, key);
+                    out.write_bytes(b":");
+                    write_value(item, out);
+                }
+                out.write_bytes(b"}");
+            }
+        }
+    }
 }
 
 /// Types that can be reconstructed from a [`Value`] tree.
@@ -100,6 +255,10 @@ macro_rules! impl_unsigned {
         impl Serialize for $t {
             fn serialize(&self) -> Value {
                 Value::UInt(*self as u64)
+            }
+
+            fn serialize_canonical(&self, out: &mut dyn Serializer) {
+                canonical::write_display(out, self);
             }
         }
         impl Deserialize for $t {
@@ -129,6 +288,10 @@ macro_rules! impl_signed {
                     Value::Int(v)
                 }
             }
+
+            fn serialize_canonical(&self, out: &mut dyn Serializer) {
+                canonical::write_display(out, self);
+            }
         }
         impl Deserialize for $t {
             fn deserialize(value: &Value) -> Result<Self, Error> {
@@ -154,6 +317,10 @@ impl Serialize for f64 {
     fn serialize(&self) -> Value {
         Value::Float(*self)
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_f64(out, *self);
+    }
 }
 
 impl Deserialize for f64 {
@@ -171,6 +338,10 @@ impl Serialize for f32 {
     fn serialize(&self) -> Value {
         Value::Float(f64::from(*self))
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_f64(out, f64::from(*self));
+    }
 }
 
 impl Deserialize for f32 {
@@ -182,6 +353,10 @@ impl Deserialize for f32 {
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        out.write_bytes(if *self { b"true" } else { b"false" });
     }
 }
 
@@ -198,6 +373,10 @@ impl Serialize for String {
     fn serialize(&self) -> Value {
         Value::Str(self.clone())
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_json_string(out, self);
+    }
 }
 
 impl Deserialize for String {
@@ -213,11 +392,19 @@ impl Serialize for str {
     fn serialize(&self) -> Value {
         Value::Str(self.to_string())
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_json_string(out, self);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize(&self) -> Value {
         (**self).serialize()
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        (**self).serialize_canonical(out);
     }
 }
 
@@ -226,6 +413,13 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(v) => v.serialize(),
             None => Value::Null,
+        }
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        match self {
+            Some(v) => v.serialize_canonical(out),
+            None => out.write_bytes(b"null"),
         }
     }
 }
@@ -239,9 +433,25 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+/// Shared streaming body of the slice-shaped impls.
+fn write_canonical_seq<T: Serialize>(items: &[T], out: &mut dyn Serializer) {
+    out.write_bytes(b"[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.write_bytes(b",");
+        }
+        item.serialize_canonical(out);
+    }
+    out.write_bytes(b"]");
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        write_canonical_seq(self, out);
     }
 }
 
@@ -258,11 +468,23 @@ impl<T: Serialize> Serialize for [T] {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        write_canonical_seq(self, out);
+    }
 }
 
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn serialize(&self) -> Value {
         Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        out.write_bytes(b"[");
+        self.0.serialize_canonical(out);
+        out.write_bytes(b",");
+        self.1.serialize_canonical(out);
+        out.write_bytes(b"]");
     }
 }
 
@@ -279,6 +501,24 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+/// Shared streaming body of the map impls: `entries` must already be in
+/// canonical (sorted) key order.
+fn write_canonical_map<'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    out: &mut dyn Serializer,
+) {
+    out.write_bytes(b"{");
+    for (i, (key, value)) in entries.enumerate() {
+        if i > 0 {
+            out.write_bytes(b",");
+        }
+        canonical::write_json_string(out, key);
+        out.write_bytes(b":");
+        value.serialize_canonical(out);
+    }
+    out.write_bytes(b"}");
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn serialize(&self) -> Value {
         Value::Object(
@@ -286,6 +526,10 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
                 .map(|(k, v)| (k.clone(), v.serialize()))
                 .collect(),
         )
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        write_canonical_map(self.iter(), out);
     }
 }
 
@@ -311,6 +555,15 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
         fields.sort_by(|(a, _), (b, _)| a.cmp(b));
         Value::Object(fields)
     }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        // The canonical order is sorted; collecting the references is the
+        // one map impl that allocates (hash maps have no cheap ordered
+        // walk), which is fine — no hot-path type routes through it.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by_key(|&(key, _)| key);
+        write_canonical_map(entries.into_iter(), out);
+    }
 }
 
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
@@ -328,6 +581,10 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 impl Serialize for Value {
     fn serialize(&self) -> Value {
         self.clone()
+    }
+
+    fn serialize_canonical(&self, out: &mut dyn Serializer) {
+        canonical::write_value(self, out);
     }
 }
 

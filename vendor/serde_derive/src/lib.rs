@@ -18,7 +18,9 @@ enum Shape {
     Unit,
 }
 
-/// Derives the shim's `serde::Serialize` for a struct.
+/// Derives the shim's `serde::Serialize` for a struct: the tree-building
+/// `serialize` plus an allocation-free streaming `serialize_canonical`
+/// override that emits the same bytes `serde_json::to_string` would.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse_struct(input);
@@ -44,9 +46,46 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Unit => "::serde::Value::Null".to_string(),
     };
+    // Field names are Rust identifiers, so the object-key literals below
+    // never need JSON escaping.
+    let canonical_body = match &shape {
+        Shape::Named(fields) => {
+            let mut statements = Vec::new();
+            for (i, f) in fields.iter().enumerate() {
+                let prefix = if i == 0 { '{' } else { ',' };
+                statements.push(format!(
+                    "out.write_bytes(\"{prefix}\\\"{f}\\\":\".as_bytes());\n\
+                     ::serde::Serialize::serialize_canonical(&self.{f}, out);"
+                ));
+            }
+            if fields.is_empty() {
+                "out.write_bytes(\"{}\".as_bytes());".to_string()
+            } else {
+                statements.push("out.write_bytes(\"}\".as_bytes());".to_string());
+                statements.join("\n")
+            }
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_canonical(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut statements = Vec::new();
+            for i in 0..*n {
+                let prefix = if i == 0 { '[' } else { ',' };
+                statements.push(format!(
+                    "out.write_bytes(\"{prefix}\".as_bytes());\n\
+                     ::serde::Serialize::serialize_canonical(&self.{i}, out);"
+                ));
+            }
+            statements.push("out.write_bytes(\"]\".as_bytes());".to_string());
+            statements.join("\n")
+        }
+        Shape::Unit => "out.write_bytes(\"null\".as_bytes());".to_string(),
+    };
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         fn serialize_canonical(&self, out: &mut dyn ::serde::Serializer) {{\n\
+         {canonical_body}\n\
+         }}\n\
          }}"
     )
     .parse()

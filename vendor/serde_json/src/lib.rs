@@ -3,6 +3,11 @@
 //! Serializes the [`serde::Value`] tree produced by the vendored serde shim
 //! to JSON text and parses it back. Covers `to_string`, `to_string_pretty`
 //! and `from_str` — the only entry points the workspace uses.
+//!
+//! `to_string` routes through `serde::canonical`, the same streaming writer
+//! behind [`serde::Serialize::serialize_canonical`], so the compact text
+//! and the streaming byte feed (and hence the engine's content hashes) are
+//! byte-identical by construction.
 
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -37,9 +42,24 @@ impl From<serde::Error> for Error {
 
 /// Serializes a value to compact JSON text.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let tree = value.serialize();
+    // The canonical writer panics on non-finite floats (it has no error
+    // channel); this entry point keeps its `Err` contract by checking
+    // first.
+    check_finite(&tree)?;
     let mut out = String::new();
-    write_value(&mut out, &value.serialize(), None, 0)?;
+    serde::canonical::write_value(&tree, &mut out);
     Ok(out)
+}
+
+/// Rejects the values [`serde::canonical::write_value`] would panic on.
+fn check_finite(value: &Value) -> Result<(), Error> {
+    match value {
+        Value::Float(f) if !f.is_finite() => Err(Error::new("cannot serialize non-finite float")),
+        Value::Array(items) => items.iter().try_for_each(check_finite),
+        Value::Object(fields) => fields.iter().try_for_each(|(_, v)| check_finite(v)),
+        _ => Ok(()),
+    }
 }
 
 /// Serializes a value to human-readable, 2-space-indented JSON text.
@@ -131,20 +151,10 @@ fn write_separator(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
+/// One escaping implementation for both writers: the pretty printer here
+/// delegates to the canonical streaming escaper.
 fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    serde::canonical::write_json_string(out, s);
 }
 
 struct Parser<'a> {
@@ -426,5 +436,85 @@ mod tests {
         let original = String::from("line\nbreak \"quoted\" back\\slash\ttab");
         let json = to_string(&original).unwrap();
         assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn non_finite_floats_still_error_not_panic() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+        assert!(to_string(&vec![1.0, f64::NEG_INFINITY]).is_err());
+        let nested: Value = Value::Object(vec![("x".to_string(), Value::Float(f64::NAN))]);
+        assert!(to_string(&nested).is_err());
+    }
+
+    #[test]
+    fn streaming_serialization_matches_to_string() {
+        // Exercise every Value shape, including strings that need all the
+        // escape classes and floats with exotic shortest representations.
+        let value = Value::Object(vec![
+            ("null".to_string(), Value::Null),
+            ("flag".to_string(), Value::Bool(true)),
+            ("neg".to_string(), Value::Int(-42)),
+            ("big".to_string(), Value::UInt(u64::MAX)),
+            ("third".to_string(), Value::Float(1.0 / 3.0)),
+            ("whole".to_string(), Value::Float(2.0)),
+            ("tiny".to_string(), Value::Float(2.2250738585072014e-308)),
+            (
+                "esc \"q\" \\ \n \r \t \u{1} é".to_string(),
+                Value::Str("nested \"esc\" \\ \n \u{7} ünïcødé".to_string()),
+            ),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Null, Value::Str(String::new())]),
+            ),
+            ("empty_obj".to_string(), Value::Object(Vec::new())),
+            ("empty_arr".to_string(), Value::Array(Vec::new())),
+        ]);
+        let tree_text = to_string(&value).unwrap();
+        let mut streamed = String::new();
+        serde::Serialize::serialize_canonical(&value, &mut streamed);
+        assert_eq!(streamed, tree_text);
+        // And the text round-trips.
+        assert_eq!(from_str::<Value>(&tree_text).unwrap(), value);
+    }
+
+    #[test]
+    fn streaming_leaf_impls_match_to_string() {
+        fn check<T: Serialize>(value: T) {
+            let mut streamed = Vec::new();
+            value.serialize_canonical(&mut streamed);
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                to_string(&value).unwrap()
+            );
+        }
+        check(0u64);
+        check(u64::MAX);
+        check(-1i64);
+        check(i64::MIN);
+        check(3.5f64);
+        check(1e300f64);
+        check(-0.0f64);
+        check(0.1f32);
+        check(false);
+        check(String::from("plain"));
+        check(String::from("esc \" \\ \n \t \r \u{1f} end"));
+        check(Option::<u64>::None);
+        check(Some(7u64));
+        check(vec![1u64, 2, 3]);
+        check(Vec::<u64>::new());
+        check((4u64, -5i64));
+        check({
+            let mut map = std::collections::BTreeMap::new();
+            map.insert("b".to_string(), 2u64);
+            map.insert("a".to_string(), 1u64);
+            map
+        });
+        check({
+            let mut map = std::collections::HashMap::new();
+            map.insert("z".to_string(), 26u64);
+            map.insert("a".to_string(), 1u64);
+            map
+        });
     }
 }
