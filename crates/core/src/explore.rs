@@ -64,18 +64,13 @@ pub fn sweep_buffer_capacity(
 
 /// Returns a copy of the configuration with every buffer's maximum capacity
 /// set to `cap` containers.
+///
+/// This is the materialisation of a capped
+/// [`ConfigView`](bbs_taskgraph::ConfigView) — both delegate to the same
+/// primitive ([`bbs_taskgraph::apply_capacity_cap`]), so sweeping with views
+/// and sweeping with clones can never diverge.
 pub fn with_capacity_cap(configuration: &Configuration, cap: u64) -> Configuration {
-    let mut constrained = configuration.clone();
-    let buffer_refs = constrained.all_buffers();
-    for buffer_ref in buffer_refs {
-        let graph = constrained.task_graph_mut(buffer_ref.graph);
-        let updated = graph
-            .buffer(buffer_ref.buffer)
-            .clone()
-            .with_max_capacity(cap);
-        *graph.buffer_mut(buffer_ref.buffer) = updated;
-    }
-    constrained
+    bbs_taskgraph::apply_capacity_cap(configuration, cap)
 }
 
 /// The per-step budget reduction of a sweep (Figure 2(b)): element `i` is

@@ -23,7 +23,7 @@ use crate::error::MappingError;
 use crate::model::{DataflowModel, GraphModel, QueueRole, TokenCount};
 use crate::options::SolveOptions;
 use bbs_conic::{LinExpr, ModelBuilder, VarId};
-use bbs_taskgraph::{BufferRef, Configuration, TaskRef};
+use bbs_taskgraph::{BufferRef, ConfigView, Configuration, TaskRef};
 use std::collections::BTreeMap;
 
 /// Variable handles of a built formulation, used to extract the solution.
@@ -62,6 +62,34 @@ impl Formulation {
     /// (early, precise infeasibility detection).
     pub fn build(
         configuration: &Configuration,
+        model: &DataflowModel,
+        options: &SolveOptions,
+    ) -> Result<Self, MappingError> {
+        Self::build_inner(configuration, None, model, options)
+    }
+
+    /// Builds the formulation for a copy-on-write [`ConfigView`] without
+    /// materialising the capped clone: the view's uniform capacity cap is
+    /// applied symbolically to every buffer's `δ'` upper bound, replacing
+    /// per-buffer caps of the base — exactly what
+    /// [`Formulation::build`] on the materialised configuration would do.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Formulation::build`].
+    pub fn build_view(
+        view: &ConfigView,
+        model: &DataflowModel,
+        options: &SolveOptions,
+    ) -> Result<Self, MappingError> {
+        Self::build_inner(view.base(), view.capacity_cap(), model, options)
+    }
+
+    /// Shared body of [`Formulation::build`] / [`Formulation::build_view`]:
+    /// `cap_override`, when present, replaces every buffer's own cap.
+    fn build_inner(
+        configuration: &Configuration,
+        cap_override: Option<u64>,
         model: &DataflowModel,
         options: &SolveOptions,
     ) -> Result<Self, MappingError> {
@@ -105,7 +133,7 @@ impl Formulation {
                     * buffer.container_size() as f64,
             );
             builder.bound_lower(delta, 0.0);
-            if let Some(cap) = buffer.max_capacity() {
+            if let Some(cap) = cap_override.or_else(|| buffer.max_capacity()) {
                 if cap < buffer.initial_tokens() {
                     return Err(MappingError::CapBelowInitialTokens {
                         buffer: buffer_ref,

@@ -38,7 +38,8 @@
 //! * [`model`] — the budget-scheduler dataflow model (Section II-C);
 //! * [`formulation`] — Algorithm 1, the SOCP;
 //! * [`compute_mapping`] — the main entry point (solve + conservative
-//!   rounding + verification);
+//!   rounding + verification), with [`compute_mapping_view`] as the
+//!   clone-free variant for copy-on-write sweep views;
 //! * [`two_phase`] — the separate-phases baseline the paper argues against;
 //! * [`explore`] — capacity sweeps behind Figures 2 and 3;
 //! * [`verify`] — independent re-verification of any mapping;
@@ -63,7 +64,7 @@ pub use explore::{sweep_buffer_capacity, with_capacity_cap, TradeoffPoint};
 pub use options::{SolveOptions, SolverKind};
 pub use report::{mapping_report, MappingReport};
 pub use solution::Mapping;
-pub use solver::compute_mapping;
+pub use solver::{compute_mapping, compute_mapping_view};
 pub use two_phase::{compute_mapping_two_phase, BudgetPolicy, TwoPhaseOutcome};
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 //! and simulation.
 
 use bbs_srdf::{Actor, Queue, SrdfGraph};
-use bbs_taskgraph::{BufferId, Configuration, TaskGraphId, TaskId};
+use bbs_taskgraph::{BufferId, ConfigView, Configuration, TaskGraphId, TaskId};
 use std::collections::HashMap;
 
 /// Role of an actor in the two-actor task component.
@@ -168,6 +168,19 @@ impl DataflowModel {
     /// [`Configuration::validate`]); the higher-level entry points validate
     /// before calling this.
     pub fn build(configuration: &Configuration) -> Self {
+        Self::build_from(configuration)
+    }
+
+    /// Builds the symbolic dataflow model for a copy-on-write
+    /// [`ConfigView`]. The model depends only on graph structure — never on
+    /// capacity caps, which enter the formulation as variable bounds — so
+    /// the shared base is read directly and nothing is materialised.
+    pub fn build_view(view: &ConfigView) -> Self {
+        Self::build_from(view.base())
+    }
+
+    /// Shared body of the two build entry points.
+    fn build_from(configuration: &Configuration) -> Self {
         let mut graphs = Vec::new();
         for (gid, graph) in configuration.task_graphs() {
             let mut actors = Vec::new();

@@ -8,7 +8,7 @@ use crate::options::{SolveOptions, SolverKind};
 use crate::solution::Mapping;
 use crate::verify::verify_mapping;
 use bbs_conic::{solve_with_cutting_planes, Solution, SolveStatus};
-use bbs_taskgraph::Configuration;
+use bbs_taskgraph::{ConfigView, Configuration};
 use std::collections::BTreeMap;
 
 /// Simultaneously computes budgets and buffer capacities that satisfy every
@@ -49,6 +49,49 @@ pub fn compute_mapping(
     configuration.validate()?;
     let model = DataflowModel::build(configuration);
     let formulation = Formulation::build(configuration, &model, options)?;
+    let (solution, iterations) = solve_formulation(&formulation, options)?;
+    let mapping = extract_mapping(configuration, &formulation, &solution, iterations);
+    if options.verify {
+        verify_mapping(configuration, &mapping)?;
+    }
+    Ok(mapping)
+}
+
+/// [`compute_mapping`] for a copy-on-write [`ConfigView`]: solves the
+/// view's effective configuration without ever materialising the capped
+/// clone. The view's uniform capacity cap enters the formulation as the
+/// `δ'` upper bound of every buffer, so the result is identical to calling
+/// [`compute_mapping`] on `view.config()`.
+///
+/// # Errors
+///
+/// Same as [`compute_mapping`].
+///
+/// # Example
+///
+/// ```
+/// use bbs_taskgraph::presets::{producer_consumer, PaperParameters};
+/// use bbs_taskgraph::ConfigView;
+/// use budget_buffer::{compute_mapping_view, SolveOptions};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), budget_buffer::MappingError> {
+/// let base = Arc::new(producer_consumer(PaperParameters::default(), None));
+/// let view = ConfigView::with_capacity_cap(Arc::clone(&base), 10);
+/// let options = SolveOptions::default().prefer_budget_minimisation();
+/// let mapping = compute_mapping_view(&view, &options)?;
+/// assert_eq!(mapping.budget_of_named(&base, "wa"), Some(4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_mapping_view(
+    view: &ConfigView,
+    options: &SolveOptions,
+) -> Result<Mapping, MappingError> {
+    let configuration: &Configuration = view.base();
+    configuration.validate()?;
+    let model = DataflowModel::build_view(view);
+    let formulation = Formulation::build_view(view, &model, options)?;
     let (solution, iterations) = solve_formulation(&formulation, options)?;
     let mapping = extract_mapping(configuration, &formulation, &solution, iterations);
     if options.verify {
@@ -368,5 +411,50 @@ mod tests {
             compute_mapping(&c, &SolveOptions::default()),
             Err(MappingError::Model(_))
         ));
+        let view = ConfigView::new(std::sync::Arc::new(bbs_taskgraph::Configuration::new()));
+        assert!(matches!(
+            compute_mapping_view(&view, &SolveOptions::default()),
+            Err(MappingError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn view_solves_match_materialised_clone_solves() {
+        use crate::explore::with_capacity_cap;
+        let base = std::sync::Arc::new(producer_consumer(PaperParameters::default(), None));
+        for cap in 1..=10u64 {
+            let view = ConfigView::with_capacity_cap(std::sync::Arc::clone(&base), cap);
+            let from_view = compute_mapping_view(&view, &budget_first()).unwrap();
+            let from_clone =
+                compute_mapping(&with_capacity_cap(&base, cap), &budget_first()).unwrap();
+            assert_eq!(from_view, from_clone, "cap {cap}: view and clone diverge");
+        }
+    }
+
+    #[test]
+    fn uncapped_view_solves_match_the_base() {
+        let base = std::sync::Arc::new(producer_consumer(PaperParameters::default(), None));
+        let view = ConfigView::new(std::sync::Arc::clone(&base));
+        let from_view = compute_mapping_view(&view, &budget_first()).unwrap();
+        let from_base = compute_mapping(&base, &budget_first()).unwrap();
+        assert_eq!(from_view, from_base);
+    }
+
+    #[test]
+    fn view_cap_below_initial_tokens_is_rejected() {
+        let mut builder = ConfigurationBuilder::new();
+        builder.processor("p1", 40.0);
+        builder.processor("p2", 40.0);
+        builder.unbounded_memory("mem");
+        {
+            let job = builder.task_graph("T", 10.0);
+            job.task("wa", 1.0, "p1");
+            job.task("wb", 1.0, "p2");
+            job.buffer_detailed("bab", "wa", "wb", "mem", 1, 5, 1.0, None);
+        }
+        let base = std::sync::Arc::new(builder.build().unwrap());
+        let view = ConfigView::with_capacity_cap(base, 2);
+        let err = compute_mapping_view(&view, &budget_first()).unwrap_err();
+        assert!(matches!(err, MappingError::CapBelowInitialTokens { .. }));
     }
 }

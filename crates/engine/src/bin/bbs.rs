@@ -4,6 +4,7 @@
 //! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
 //!         [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
 //!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+//! bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
 //! bbs list
 //! bbs check REPORT.json
 //! bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
@@ -20,7 +21,9 @@
 //! are also persisted to a content-addressed on-disk store, so later
 //! invocations skip them entirely; `--cache-max-entries` (or
 //! `BBS_CACHE_MAX_ENTRIES`) bounds that store's size on the write path.
-//! `bbs cache` inspects and manages the store. `check` parses and
+//! `bbs cache` inspects and manages the store. `expand` runs only the
+//! resolve-and-expand pipeline stage and reports the work-item counts — a
+//! dry run for suite files. `check` parses and
 //! schema-validates a report produced by `run`. The exit code is non-zero
 //! when anything failed, including scenarios with unexpectedly infeasible
 //! points.
@@ -28,8 +31,8 @@
 use bbs_engine::report::render_timing_summary;
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
-    run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, SolveCache, SolveStore,
-    Suite, SuiteReport,
+    expand_suite, run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, SolveCache,
+    SolveStore, Suite, SuiteReport,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -40,6 +43,7 @@ usage:
   bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
           [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
           [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+  bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
   bbs list
   bbs check REPORT.json
   bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("expand") => expand(&args[1..]),
         Some("list") => list(),
         Some("check") => check(&args[1..]),
         Some("cache") => cache(&args[1..]),
@@ -317,6 +322,39 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Err(message)
     }
+}
+
+/// `bbs expand`: run only the resolve-and-expand pipeline stage — on the
+/// pooled workers by default, exactly as `run` would — and report the
+/// counts without solving anything. A dry run for suite files and a smoke
+/// test for the parallel expansion path.
+fn expand(args: &[String]) -> Result<(), String> {
+    let args = parse_run_args(args)?;
+    let suite = load_suite(&args)?;
+    let settings = RunSettings {
+        jobs: args.jobs,
+        ..RunSettings::default()
+    };
+    let summary = if args.pooled {
+        Engine::new(settings.jobs)
+            .expand_suite(&suite, &settings)
+            .map_err(|e| e.to_string())?
+    } else {
+        expand_suite(&suite, &settings).map_err(|e| e.to_string())?
+    };
+    println!(
+        "suite `{}`: expanded {} work items across {} scenarios ({} jobs, {})",
+        suite.name,
+        summary.points,
+        summary.scenarios,
+        settings.jobs.max(1),
+        if args.pooled {
+            "pooled"
+        } else {
+            "fresh executor"
+        }
+    );
+    Ok(())
 }
 
 fn list() -> Result<(), String> {

@@ -58,7 +58,7 @@
 
 use crate::store::SolveStore;
 use bbs_conic::ConicError;
-use bbs_taskgraph::{fnv1a, CanonicalDigest, CanonicalHasher, Configuration};
+use bbs_taskgraph::{fnv1a, CanonicalDigest, CanonicalHasher, ConfigView, Configuration};
 use budget_buffer::{Mapping, MappingError, SolveOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
@@ -99,7 +99,16 @@ impl CacheKey {
     /// `flow`. Equivalent to
     /// [`ScenarioKeySeed::new`]`(options, flow).`[`key_for`](ScenarioKeySeed::key_for)`(configuration)`;
     /// sweeps should hoist the seed instead of calling this per point.
-    pub fn new(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
+    ///
+    /// `configuration` is anything that streams the canonical configuration
+    /// bytes — an owned [`Configuration`] or a copy-on-write
+    /// [`ConfigView`], which stream byte-identically, so views and
+    /// materialised clones always derive the same key.
+    pub fn new<C: Serialize + ?Sized>(
+        configuration: &C,
+        options: &SolveOptions,
+        flow: &str,
+    ) -> Self {
         ScenarioKeySeed::new(options, flow).key_for(configuration)
     }
 
@@ -151,9 +160,14 @@ impl ScenarioKeySeed {
     /// The key of one solve of `configuration` under this scenario's
     /// options and flow. Allocation-free: clones the pre-folded digest
     /// state (two words) and streams the configuration into it.
-    pub fn key_for(&self, configuration: &Configuration) -> CacheKey {
+    ///
+    /// Accepts an owned [`Configuration`] or a copy-on-write
+    /// [`ConfigView`] — both stream the same canonical bytes, so sweeps can
+    /// derive keys straight from views without ever cloning the
+    /// configuration.
+    pub fn key_for<C: Serialize + ?Sized>(&self, configuration: &C) -> CacheKey {
         let mut state = self.state.clone();
-        serde::Serialize::serialize_canonical(configuration, &mut state);
+        configuration.serialize_canonical(&mut state);
         CacheKey {
             digest: state.finish(),
         }
@@ -203,11 +217,21 @@ impl CanonicalKey {
     /// Materialises the canonical key from a configuration and an
     /// already-serialised options JSON (the hoisted
     /// [`ScenarioKeySeed::options_json`]).
-    pub fn materialise(configuration: &Configuration, options_json: &str, flow: &str) -> Self {
-        let configuration = configuration.canonical_json();
+    ///
+    /// `configuration` may be an owned [`Configuration`] or a
+    /// [`ConfigView`]: the canonical JSON is streamed straight from the
+    /// value, so a view produces exactly the bytes its materialised clone
+    /// would — store paths and on-disk entries are unchanged.
+    pub fn materialise<C: Serialize + ?Sized>(
+        configuration: &C,
+        options_json: &str,
+        flow: &str,
+    ) -> Self {
+        let mut json = String::new();
+        configuration.serialize_canonical(&mut json);
         Self {
-            fingerprint: fnv1a(configuration.as_bytes()),
-            configuration,
+            fingerprint: fnv1a(json.as_bytes()),
+            configuration: json,
             options: options_json.to_string(),
             flow: flow.to_string(),
         }
@@ -218,6 +242,33 @@ impl CanonicalKey {
     pub fn from_parts(configuration: &Configuration, options: &SolveOptions, flow: &str) -> Self {
         let options_json = serde_json::to_string(options).expect("options serialise to JSON");
         Self::materialise(configuration, &options_json, flow)
+    }
+}
+
+/// A source of the effective [`Configuration`] a cache key was derived
+/// from — either the configuration itself or a copy-on-write
+/// [`ConfigView`].
+///
+/// [`SolveCache::solve_with`] is generic over this so the executor can pass
+/// sweep views straight through: the disk tier resolves the effective
+/// configuration *lazily*, only on the slot-claimer path with a store
+/// present, which is exactly the boundary where a capped view must
+/// materialise anyway.
+pub trait KeyConfiguration {
+    /// The effective configuration behind the key. For a capped
+    /// [`ConfigView`] this materialises (and caches) the capped clone.
+    fn effective(&self) -> &Configuration;
+}
+
+impl KeyConfiguration for Configuration {
+    fn effective(&self) -> &Configuration {
+        self
+    }
+}
+
+impl KeyConfiguration for ConfigView {
+    fn effective(&self) -> &Configuration {
+        self.config()
     }
 }
 
@@ -347,8 +398,11 @@ impl SolveCache {
     /// Returns the memoized result for `key`, calling `solve` at most once
     /// per distinct key across all threads (and not at all when the
     /// persistent tier answers). `configuration` must be the configuration
-    /// the key was built from — the disk tier rebuilds mappings against it
-    /// instead of re-parsing canonical JSON. `canonical` materialises the
+    /// the key was built from — a [`Configuration`] or a [`ConfigView`];
+    /// the disk tier rebuilds mappings against its
+    /// [effective](KeyConfiguration::effective) form instead of re-parsing
+    /// canonical JSON, resolved lazily so views only materialise on the
+    /// claimer path of a store-backed cache. `canonical` materialises the
     /// full [`CanonicalKey`] for the disk tier; it runs at most once per
     /// distinct key (the slot claimer, store present), so hits — memory or
     /// in-flight waits — never serialise anything. The [`SolveSource`]
@@ -356,7 +410,7 @@ impl SolveCache {
     pub fn solve_with(
         &self,
         key: CacheKey,
-        configuration: &Configuration,
+        configuration: &impl KeyConfiguration,
         canonical: impl FnOnce() -> CanonicalKey,
         solve: impl FnOnce() -> Result<Mapping, MappingError>,
     ) -> (Result<Mapping, MappingError>, SolveSource) {
@@ -380,7 +434,7 @@ impl SolveCache {
                 // deterministic across worker counts.
                 let canonical_key = self.store.as_ref().map(|_| canonical());
                 let store = self.store.as_ref().zip(canonical_key.as_ref());
-                match store.and_then(|(store, key)| store.load(key, configuration)) {
+                match store.and_then(|(store, key)| store.load(key, configuration.effective())) {
                     Some(result) => (result, SolveSource::Disk, canonical_key),
                     None => (solve(), SolveSource::Fresh, canonical_key),
                 }
@@ -513,6 +567,30 @@ mod tests {
             configuration.canonical_fingerprint()
         );
         assert_eq!(materialised.configuration, configuration.canonical_json());
+    }
+
+    #[test]
+    fn view_derived_keys_match_clone_derived_keys() {
+        // The executor derives keys (and canonical keys) straight from
+        // copy-on-write views; both must be byte-identical to the
+        // clone-derived forms or the store would fork into a second key
+        // space.
+        let base = Arc::new(producer_consumer(PaperParameters::default(), None));
+        let options = paper_options();
+        let seed = ScenarioKeySeed::new(&options, "joint");
+        for cap in 1..=6u64 {
+            let view = ConfigView::with_capacity_cap(Arc::clone(&base), cap);
+            let clone = with_capacity_cap(&base, cap);
+            assert_eq!(seed.key_for(&view), seed.key_for(&clone));
+            let materialised = CanonicalKey::materialise(&view, &seed.options_json(), &seed.flow());
+            assert_eq!(
+                materialised,
+                CanonicalKey::from_parts(&clone, &options, "joint")
+            );
+            assert_eq!(materialised.configuration, clone.canonical_json());
+        }
+        let view = ConfigView::new(Arc::clone(&base));
+        assert_eq!(seed.key_for(&view), seed.key_for(base.as_ref()));
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! The parallel batch executor: a panic-safe work-stealing worker pool.
 //!
 //! A suite expands into a flat list of *work items* — one per (scenario,
-//! sweep point) pair. The items are seeded round-robin across per-worker
+//! sweep point) pair. Expansion itself is two-staged: a serial *plan* pass
+//! resolves each scenario's workload, flow, options and hoisted
+//! [`ScenarioKeySeed`] exactly once, and a (parallel, chunked) *expand*
+//! pass turns every sweep point into a work item holding a copy-on-write
+//! [`ConfigView`] — an `Arc` of the scenario's base configuration plus the
+//! point's capacity cap — instead of an owned clone. Chunks are assembled
+//! in index order, so the item list is the suite order no matter how many
+//! threads expanded it (the same slot discipline the result side uses).
+//!
+//! The items are then seeded round-robin across per-worker
 //! deques; each worker drains its own deque LIFO and, when it runs dry,
 //! steals FIFO from the other workers' deques (the opposite end, so owner
 //! and thief never contend for the same item). A legacy single shared-queue
@@ -29,14 +38,14 @@ use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
 use crate::store::StoreStats;
 use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
-use bbs_taskgraph::Configuration;
+use bbs_taskgraph::{ConfigView, Configuration};
 use budget_buffer::{
-    compute_mapping, compute_mapping_two_phase, with_capacity_cap, BudgetPolicy, Mapping,
-    MappingError, SolveOptions,
+    compute_mapping_two_phase, compute_mapping_view, BudgetPolicy, Mapping, MappingError,
+    SolveOptions,
 };
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -240,18 +249,22 @@ fn is_infeasibility(error: &MappingError) -> bool {
     )
 }
 
-/// One solve to perform: the capped configuration plus everything needed to
-/// route the result back to its slot. The cache key is pre-derived (from
-/// the scenario's hoisted [`ScenarioKeySeed`]) so workers never serialise
-/// anything on the hot path; the shared seed rides along for the lazy
-/// [`CanonicalKey`] materialisation of points that reach the disk tier
-/// (its options JSON is built at most once per scenario, and not at all
-/// without a store).
+/// One solve to perform: a copy-on-write [`ConfigView`] of the scenario's
+/// shared base configuration (plus the point's capacity cap) and everything
+/// needed to route the result back to its slot. The cache key is
+/// pre-derived (from the scenario's hoisted [`ScenarioKeySeed`], streaming
+/// straight from the view) so workers never serialise anything on the hot
+/// path; the shared seed rides along for the lazy [`CanonicalKey`]
+/// materialisation of points that reach the disk tier (its options JSON is
+/// built at most once per scenario, and not at all without a store).
+/// Building an item allocates nothing: the view is two `Arc` bumps and a
+/// `Copy` cap, and the capped configuration only materialises at the solver
+/// boundary, for points that actually solve.
 pub(crate) struct WorkItem {
     scenario_index: usize,
     point_index: usize,
     capacity_cap: Option<u64>,
-    configuration: Configuration,
+    view: ConfigView,
     options: SolveOptions,
     seed: Arc<ScenarioKeySeed>,
     flow: Flow,
@@ -372,9 +385,16 @@ pub fn run_suite_with_cache(
     })
 }
 
-/// The per-scenario resolution of one suite: the scenario as submitted plus
-/// its built workload, flow, options and point count.
-pub(crate) type ResolvedScenario = (Scenario, Configuration, Flow, SolveOptions, usize);
+/// The per-scenario resolution of one suite: the built workload (shared
+/// with every work item's view), flow, options and point count. The
+/// scenario itself is *not* cloned here — the outcome assembler reads it
+/// back from the suite it already borrows.
+pub(crate) struct ResolvedScenario {
+    pub(crate) configuration: Arc<Configuration>,
+    pub(crate) flow: Flow,
+    pub(crate) options: SolveOptions,
+    pub(crate) points: usize,
+}
 
 /// A suite resolved and expanded into work items, ready to shard.
 pub(crate) struct Prepared {
@@ -383,17 +403,163 @@ pub(crate) struct Prepared {
     pub(crate) injection_target: Option<(usize, usize)>,
 }
 
-/// Resolves every scenario exactly once (full `Suite::validate` would build
-/// each workload a second time just to discard it), expands the sweeps into
-/// work items, and pre-derives each item's cache key from the scenario's
-/// hoisted [`ScenarioKeySeed`].
-pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared, EngineError> {
+/// One scenario resolved but not yet expanded: everything
+/// [`ScenarioPlan::item`] needs to mint any of the scenario's work items.
+pub(crate) struct ScenarioPlan {
+    scenario_index: usize,
+    configuration: Arc<Configuration>,
+    options: SolveOptions,
+    seed: Arc<ScenarioKeySeed>,
+    flow: Flow,
+    simulate: bool,
+    caps: Vec<Option<u64>>,
+}
+
+impl ScenarioPlan {
+    /// Mints the work item of one sweep point. Allocation-free: the view
+    /// shares the plan's base configuration, the options are heap-free, and
+    /// the cache key streams straight from the view.
+    fn item(&self, point_index: usize) -> WorkItem {
+        let cap = self.caps[point_index];
+        let view = match cap {
+            Some(cap) => ConfigView::with_capacity_cap(Arc::clone(&self.configuration), cap),
+            None => ConfigView::new(Arc::clone(&self.configuration)),
+        };
+        let key = self.seed.key_for(&view);
+        WorkItem {
+            scenario_index: self.scenario_index,
+            point_index,
+            capacity_cap: cap,
+            view,
+            options: self.options.clone(),
+            seed: Arc::clone(&self.seed),
+            flow: self.flow,
+            simulate: self.simulate,
+            key,
+        }
+    }
+}
+
+/// Sweep points per expansion chunk: small enough that a 10k-point sweep
+/// spreads across every worker, large enough that chunk bookkeeping is
+/// noise. Fixed (never derived from the worker count) so the chunk
+/// decomposition — and therefore the assembled item order — is a function
+/// of the suite alone.
+const EXPANSION_CHUNK: usize = 512;
+
+/// The parallel half of preparation: the scenario plans plus their
+/// decomposition into fixed-size chunks of sweep points. Workers claim
+/// chunks off the atomic cursor ([`ExpansionJob::drain`]) and the submitter
+/// reassembles them in chunk order ([`ExpansionJob::collect`]) — exactly
+/// the slot discipline result draining uses, so the expanded item list is
+/// byte-for-byte the suite order regardless of who expanded what.
+pub(crate) struct ExpansionJob {
+    plans: Vec<ScenarioPlan>,
+    /// `(plan index, first point, points)` per chunk; chunks never span
+    /// scenarios.
+    chunks: Vec<(usize, usize, usize)>,
+    cursor: AtomicUsize,
+    points: usize,
+}
+
+impl ExpansionJob {
+    fn new(plans: Vec<ScenarioPlan>) -> Self {
+        let points = plans.iter().map(|plan| plan.caps.len()).sum();
+        let total_chunks = plans
+            .iter()
+            .map(|plan| plan.caps.len().div_ceil(EXPANSION_CHUNK))
+            .sum();
+        let mut chunks = Vec::with_capacity(total_chunks);
+        for (plan_index, plan) in plans.iter().enumerate() {
+            let mut start = 0;
+            while start < plan.caps.len() {
+                let len = EXPANSION_CHUNK.min(plan.caps.len() - start);
+                chunks.push((plan_index, start, len));
+                start += len;
+            }
+        }
+        Self {
+            plans,
+            chunks,
+            cursor: AtomicUsize::new(0),
+            points,
+        }
+    }
+
+    /// Number of chunks — the useful parallelism of this expansion.
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// One worker's expansion loop: claim the next chunk off the cursor,
+    /// mint its items, send them home labelled with the chunk index.
+    pub(crate) fn drain(&self, sender: &mpsc::Sender<(usize, Vec<WorkItem>)>) {
+        loop {
+            let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(plan_index, start, len)) = self.chunks.get(index) else {
+                break;
+            };
+            let plan = &self.plans[plan_index];
+            let mut items = Vec::with_capacity(len);
+            for point_index in start..start + len {
+                items.push(plan.item(point_index));
+            }
+            // The receiver lives until collection is done; a send failure
+            // means the submitting thread panicked already.
+            let _ = sender.send((index, items));
+        }
+    }
+
+    /// Reassembles drained chunks into the suite-order item list.
+    pub(crate) fn collect(
+        &self,
+        receiver: mpsc::Receiver<(usize, Vec<WorkItem>)>,
+    ) -> Vec<WorkItem> {
+        let mut slots: Vec<Option<Vec<WorkItem>>> = (0..self.chunks.len()).map(|_| None).collect();
+        for (index, items) in receiver {
+            slots[index] = Some(items);
+        }
+        let mut items = Vec::with_capacity(self.points);
+        for slot in slots {
+            items.extend(slot.expect("every chunk is expanded exactly once"));
+        }
+        items
+    }
+
+    /// Single-threaded expansion: one reserved allocation for the whole
+    /// item list, zero allocations per point (regression-guarded by the
+    /// `expansion_alloc` integration test).
+    pub(crate) fn expand_serial(&self) -> Vec<WorkItem> {
+        let mut items = Vec::with_capacity(self.points);
+        for plan in &self.plans {
+            for point_index in 0..plan.caps.len() {
+                items.push(plan.item(point_index));
+            }
+        }
+        items
+    }
+}
+
+/// A suite resolved into per-scenario plans, not yet expanded into items.
+pub(crate) struct Planned {
+    pub(crate) resolved: Vec<ResolvedScenario>,
+    pub(crate) expansion: ExpansionJob,
+    pub(crate) injection_target: Option<(usize, usize)>,
+}
+
+/// The serial half of preparation: resolves every scenario exactly once
+/// (full `Suite::validate` would build each workload a second time just to
+/// discard it), hoists the per-scenario [`ScenarioKeySeed`], expands the
+/// sweep specs to cap lists, and resolves the panic injection to slot
+/// coordinates. No per-point work happens here — that is the (parallel)
+/// [`ExpansionJob`].
+pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, EngineError> {
     suite.validate_structure()?;
     let in_scenario = |name: &str, e: EngineError| {
         EngineError::InvalidScenario(format!("scenario `{name}`: {e}"))
     };
-    let mut resolved = Vec::new();
-    let mut items = Vec::new();
+    let mut resolved = Vec::with_capacity(suite.scenarios.len());
+    let mut plans = Vec::with_capacity(suite.scenarios.len());
     // Consecutive scenarios overwhelmingly share options and flow (whole
     // built-in suites use the paper defaults), so the hoisted seed is
     // reused across scenarios too: one options fold for a hundred
@@ -403,18 +569,19 @@ pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared,
     // two indices instead of a per-item scenario-name clone.
     let mut injection_target: Option<(usize, usize)> = None;
     for (scenario_index, scenario) in suite.scenarios.iter().enumerate() {
-        let configuration = scenario
-            .workload
-            .resolve()
-            .map_err(|e| in_scenario(&scenario.name, e))?;
+        let configuration = Arc::new(
+            scenario
+                .workload
+                .resolve()
+                .map_err(|e| in_scenario(&scenario.name, e))?,
+        );
         let flow = scenario
             .resolved_flow()
             .map_err(|e| in_scenario(&scenario.name, e))?;
         let options = scenario.resolved_options();
         // The key-derivation constants of the scenario — options and flow —
         // are folded into the digest state exactly once here (or reused
-        // outright); each point below only streams its own (capped)
-        // configuration.
+        // outright); each expanded point only streams its own view.
         let seed = match &last_seed {
             Some((seed_options, seed_flow, seed))
                 if *seed_flow == flow && seed_options == &options =>
@@ -436,31 +603,30 @@ pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared,
                 .collect(),
             None => vec![None],
         };
-        items.reserve(caps.len());
-        for (point_index, cap) in caps.iter().enumerate() {
-            let capped = match cap {
-                Some(cap) => with_capacity_cap(&configuration, *cap),
-                None => configuration.clone(),
-            };
-            if settings.inject_panic.as_ref().is_some_and(|injection| {
-                injection.scenario == scenario.name && injection.capacity_cap == *cap
-            }) {
+        if let Some(injection) = settings
+            .inject_panic
+            .as_ref()
+            .filter(|injection| injection.scenario == scenario.name)
+        {
+            if let Some(point_index) = caps.iter().position(|cap| *cap == injection.capacity_cap) {
                 injection_target = Some((scenario_index, point_index));
             }
-            let key = seed.key_for(&capped);
-            items.push(WorkItem {
-                scenario_index,
-                point_index,
-                capacity_cap: *cap,
-                configuration: capped,
-                options: options.clone(),
-                seed: Arc::clone(&seed),
-                flow,
-                simulate: scenario.simulate.unwrap_or(false),
-                key,
-            });
         }
-        resolved.push((scenario.clone(), configuration, flow, options, caps.len()));
+        resolved.push(ResolvedScenario {
+            configuration: Arc::clone(&configuration),
+            flow,
+            options: options.clone(),
+            points: caps.len(),
+        });
+        plans.push(ScenarioPlan {
+            scenario_index,
+            configuration,
+            options,
+            seed,
+            flow,
+            simulate: scenario.simulate.unwrap_or(false),
+            caps,
+        });
     }
 
     // A requested fault that addresses no point would make every chaos
@@ -475,10 +641,75 @@ pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared,
         }
     }
 
-    Ok(Prepared {
+    Ok(Planned {
         resolved,
-        items,
+        expansion: ExpansionJob::new(plans),
         injection_target,
+    })
+}
+
+/// Expands the planned chunks into the suite-order item list, on up to
+/// `jobs` scoped threads (serially below two useful threads). The pooled
+/// [`Engine`](crate::Engine) runs the same [`ExpansionJob`] on its parked
+/// workers instead.
+pub(crate) fn expand(job: ExpansionJob, jobs: usize) -> Vec<WorkItem> {
+    let jobs = jobs.min(job.chunk_count());
+    if jobs <= 1 {
+        return job.expand_serial();
+    }
+    let (sender, receiver) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let sender = sender.clone();
+            let job = &job;
+            scope.spawn(move || job.drain(&sender));
+        }
+        drop(sender);
+        job.collect(receiver)
+    })
+}
+
+/// Resolves and expands a whole suite: [`plan`] then [`expand`] with the
+/// settings' worker count.
+pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared, EngineError> {
+    let planned = plan(suite, settings)?;
+    let items = expand(planned.expansion, settings.jobs.max(1));
+    Ok(Prepared {
+        resolved: planned.resolved,
+        items,
+        injection_target: planned.injection_target,
+    })
+}
+
+/// What a suite expands to, without solving anything — the counts behind
+/// `bbs check --suite` style diagnostics, the expansion benchmarks and the
+/// allocation regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionSummary {
+    /// Scenarios resolved.
+    pub scenarios: usize,
+    /// Work items (one per scenario × sweep point) expanded.
+    pub points: usize,
+}
+
+/// Resolves `suite` and expands its sweeps into work items — the exact
+/// pipeline stage a run performs before solving — then reports the counts
+/// without solving anything. `settings.jobs` > 1 expands in parallel on
+/// scoped threads; [`Engine::expand_suite`](crate::Engine::expand_suite)
+/// is the pooled equivalent.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the suite fails validation, exactly as
+/// [`run_suite`] would.
+pub fn expand_suite(
+    suite: &Suite,
+    settings: &RunSettings,
+) -> Result<ExpansionSummary, EngineError> {
+    let prepared = prepare(suite, settings)?;
+    Ok(ExpansionSummary {
+        scenarios: prepared.resolved.len(),
+        points: prepared.items.len(),
     })
 }
 
@@ -573,27 +804,32 @@ pub(crate) fn assemble_outcome(
 ) -> SuiteOutcome {
     let mut slots: Vec<Vec<Option<PointOutcome>>> = resolved
         .iter()
-        .map(|(_, _, _, _, points)| vec![None; *points])
+        .map(|scenario| vec![None; scenario.points])
         .collect();
     for (scenario_index, point_index, outcome) in receiver {
         slots[scenario_index][point_index] = Some(outcome);
     }
 
-    let scenarios = resolved
-        .into_iter()
+    let scenarios = suite
+        .scenarios
+        .iter()
+        .zip(resolved)
         .zip(slots)
-        .map(
-            |((scenario, configuration, flow, options, _), points)| ScenarioOutcome {
-                scenario,
-                configuration,
-                flow,
-                options,
-                points: points
-                    .into_iter()
-                    .map(|p| p.expect("every work item reports exactly once"))
-                    .collect(),
-            },
-        )
+        .map(|((scenario, resolved), points)| ScenarioOutcome {
+            scenario: scenario.clone(),
+            // Every work item (and its view) is gone once the receiver
+            // drains, so the shared base is normally unwrapped for free; a
+            // straggling reference costs one clone per scenario, never per
+            // point.
+            configuration: Arc::try_unwrap(resolved.configuration)
+                .unwrap_or_else(|shared| (*shared).clone()),
+            flow: resolved.flow,
+            options: resolved.options,
+            points: points
+                .into_iter()
+                .map(|p| p.expect("every work item reports exactly once"))
+                .collect(),
+        })
         .collect();
 
     SuiteOutcome {
@@ -665,29 +901,30 @@ fn execute_item(
     let solve_duration = std::cell::Cell::new(Duration::ZERO);
     let solve = || {
         let start = Instant::now();
-        let result = solve_flow(&item.configuration, &item.options, item.flow);
+        let result = solve_flow(&item.view, &item.options, item.flow);
         solve_duration.set(start.elapsed());
         result
     };
     let (result, source) = if settings.use_cache {
         // The key was pre-derived from the scenario's hoisted seed; the
         // full canonical JSON is only materialised — by the slot claimer,
-        // once per distinct key — when a disk tier actually needs it.
-        let canonical = || {
-            CanonicalKey::materialise(
-                &item.configuration,
-                &item.seed.options_json(),
-                item.flow.as_str(),
-            )
-        };
-        cache.solve_with(item.key, &item.configuration, canonical, solve)
+        // once per distinct key — when a disk tier actually needs it. Both
+        // stream straight from the view, byte-identically to the capped
+        // clone they replace.
+        let canonical =
+            || CanonicalKey::materialise(&item.view, &item.seed.options_json(), item.flow.as_str());
+        cache.solve_with(item.key, &item.view, canonical, solve)
     } else {
         (solve(), SolveSource::Fresh)
     };
     let solve_time = solve_duration.get();
     let simulation = match (&result, item.simulate) {
+        // The simulator replays the *mapping's* budgets and capacities;
+        // buffer capacity caps are solver constraints it never reads, so
+        // the shared base stands in for the capped configuration without
+        // materialising it.
         (Ok(mapping), true) => Some(simulate_point(
-            &item.configuration,
+            item.view.base(),
             mapping,
             settings.simulation_iterations,
         )),
@@ -703,18 +940,23 @@ fn execute_item(
 }
 
 fn solve_flow(
-    configuration: &Configuration,
+    view: &ConfigView,
     options: &SolveOptions,
     flow: Flow,
 ) -> Result<Mapping, MappingError> {
     match flow {
-        Flow::Joint => compute_mapping(configuration, options),
+        // The joint flow consumes the view directly (the formulation takes
+        // the cap as an override); the two-phase baselines still demand an
+        // owned configuration, so the view materialises here — the solver
+        // boundary, where mutation is real — and only for points that
+        // actually solve (cache hits never reach this closure).
+        Flow::Joint => compute_mapping_view(view, options),
         Flow::TwoPhaseMin => {
-            compute_mapping_two_phase(configuration, BudgetPolicy::ThroughputMinimum, options)
+            compute_mapping_two_phase(view.config(), BudgetPolicy::ThroughputMinimum, options)
                 .map(|outcome| outcome.mapping)
         }
         Flow::TwoPhaseFair => {
-            compute_mapping_two_phase(configuration, BudgetPolicy::FairShare, options)
+            compute_mapping_two_phase(view.config(), BudgetPolicy::FairShare, options)
                 .map(|outcome| outcome.mapping)
         }
     }

@@ -70,11 +70,13 @@ pub mod scenario;
 pub mod store;
 pub mod suites;
 
-pub use cache::{CacheKey, CacheStats, CanonicalKey, ScenarioKeySeed, SolveCache, SolveSource};
+pub use cache::{
+    CacheKey, CacheStats, CanonicalKey, KeyConfiguration, ScenarioKeySeed, SolveCache, SolveSource,
+};
 pub use error::EngineError;
 pub use executor::{
-    run_scenario, run_suite, run_suite_with_cache, ExecutorStats, PanicInjection, PointOutcome,
-    RunSettings, ScenarioOutcome, SuiteOutcome,
+    expand_suite, run_scenario, run_suite, run_suite_with_cache, ExecutorStats, ExpansionSummary,
+    PanicInjection, PointOutcome, RunSettings, ScenarioOutcome, SuiteOutcome,
 };
 pub use pool::Engine;
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};

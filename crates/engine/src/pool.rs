@@ -40,8 +40,8 @@
 use crate::cache::SolveCache;
 use crate::error::EngineError;
 use crate::executor::{
-    assemble_outcome, drain_worker, prepare, shard_items, PointOutcome, PoolCounters, RunSettings,
-    SuiteOutcome, WorkItem,
+    assemble_outcome, drain_worker, plan, shard_items, ExpansionJob, ExpansionSummary,
+    PointOutcome, PoolCounters, RunSettings, SuiteOutcome, WorkItem,
 };
 use crate::scenario::Suite;
 use std::collections::VecDeque;
@@ -59,14 +59,24 @@ struct JobState {
     cache: Arc<SolveCache>,
 }
 
-/// One unit of work handed to a parked worker: the job, the worker's home
-/// shard, and the sender its results flow back through. Dropping the sender
-/// when the drain loop retires is what tells the submitting thread this
-/// worker is done.
-struct Assignment {
-    job: Arc<JobState>,
-    home: usize,
-    results: mpsc::Sender<(usize, usize, PointOutcome)>,
+/// One unit of work handed to a parked worker. Both phases of a run flow
+/// through the same inbox: first the (optional) parallel expansion of the
+/// suite's sweeps into work items, then the solve drain over the sharded
+/// items. In each case, dropping the results sender when the loop retires
+/// is what tells the submitting thread this worker is done.
+enum Assignment {
+    /// Claim expansion chunks off the shared cursor and send the minted
+    /// work items home.
+    Expand {
+        job: Arc<ExpansionJob>,
+        results: mpsc::Sender<(usize, Vec<WorkItem>)>,
+    },
+    /// Drain the sharded work items (pop local, steal when dry).
+    Solve {
+        job: Arc<JobState>,
+        home: usize,
+        results: mpsc::Sender<(usize, usize, PointOutcome)>,
+    },
 }
 
 /// One pool worker: its assignment channel plus the join handle. The
@@ -97,17 +107,27 @@ impl Engine {
                     .spawn(move || {
                         // Parked here between runs; exits when the Engine
                         // drops its sender.
-                        while let Ok(Assignment { job, home, results }) = inbox.recv() {
-                            drain_worker(
-                                home,
-                                &job.shards,
-                                &job.settings,
-                                job.injection_target,
-                                &job.cache,
-                                &job.counters,
-                                &results,
-                            );
-                            // `results` drops here: one retired worker.
+                        while let Ok(assignment) = inbox.recv() {
+                            match assignment {
+                                Assignment::Expand { job, results } => {
+                                    job.drain(&results);
+                                    // `results` drops here: one retired
+                                    // expander.
+                                }
+                                Assignment::Solve { job, home, results } => {
+                                    drain_worker(
+                                        home,
+                                        &job.shards,
+                                        &job.settings,
+                                        job.injection_target,
+                                        &job.cache,
+                                        &job.counters,
+                                        &results,
+                                    );
+                                    // `results` drops here: one retired
+                                    // worker.
+                                }
+                            }
                         }
                     })
                     .expect("spawning an engine worker thread");
@@ -154,17 +174,18 @@ impl Engine {
         cache: &Arc<SolveCache>,
     ) -> Result<SuiteOutcome, EngineError> {
         let start = Instant::now();
-        let prepared = prepare(suite, settings)?;
+        let planned = plan(suite, settings)?;
+        let items = self.expand(planned.expansion, settings.jobs.max(1));
         let jobs = settings
             .jobs
             .max(1)
             .min(self.workers.len())
-            .min(prepared.items.len().max(1));
+            .min(items.len().max(1));
         let job = Arc::new(JobState {
-            shards: shard_items(prepared.items, jobs, settings.steal),
+            shards: shard_items(items, jobs, settings.steal),
             counters: PoolCounters::default(),
             settings: settings.clone(),
-            injection_target: prepared.injection_target,
+            injection_target: planned.injection_target,
             cache: Arc::clone(cache),
         });
         let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
@@ -173,7 +194,7 @@ impl Engine {
                 .assignments
                 .as_ref()
                 .expect("pool is alive while the engine exists")
-                .send(Assignment {
+                .send(Assignment::Solve {
                     job: Arc::clone(&job),
                     home,
                     results: sender.clone(),
@@ -183,7 +204,7 @@ impl Engine {
         drop(sender);
         Ok(assemble_outcome(
             suite,
-            prepared.resolved,
+            planned.resolved,
             receiver,
             settings,
             &job.cache,
@@ -191,6 +212,54 @@ impl Engine {
             jobs,
             start,
         ))
+    }
+
+    /// Resolves and expands `suite` on the pooled workers — the exact
+    /// pipeline stage [`Engine::run_suite`] performs before solving —
+    /// and reports the counts without solving anything. The pooled
+    /// counterpart of [`expand_suite`](crate::executor::expand_suite),
+    /// used by the expansion benchmarks and diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the suite fails validation.
+    pub fn expand_suite(
+        &self,
+        suite: &Suite,
+        settings: &RunSettings,
+    ) -> Result<ExpansionSummary, EngineError> {
+        let planned = plan(suite, settings)?;
+        let scenarios = planned.resolved.len();
+        let items = self.expand(planned.expansion, settings.jobs.max(1));
+        Ok(ExpansionSummary {
+            scenarios,
+            points: items.len(),
+        })
+    }
+
+    /// Runs one [`ExpansionJob`] on up to `jobs` parked workers, falling
+    /// back to in-place serial expansion when a single thread would do.
+    /// Chunk-ordered collection makes the item list identical either way.
+    fn expand(&self, job: ExpansionJob, jobs: usize) -> Vec<WorkItem> {
+        let jobs = jobs.min(self.workers.len()).min(job.chunk_count());
+        if jobs <= 1 {
+            return job.expand_serial();
+        }
+        let job = Arc::new(job);
+        let (sender, receiver) = mpsc::channel::<(usize, Vec<WorkItem>)>();
+        for worker in self.workers.iter().take(jobs) {
+            worker
+                .assignments
+                .as_ref()
+                .expect("pool is alive while the engine exists")
+                .send(Assignment::Expand {
+                    job: Arc::clone(&job),
+                    results: sender.clone(),
+                })
+                .expect("engine worker thread is alive");
+        }
+        drop(sender);
+        job.collect(receiver)
     }
 }
 

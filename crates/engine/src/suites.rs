@@ -2,8 +2,9 @@
 //!
 //! These are the declarative equivalents of what the `figures` binary used
 //! to hardcode; the binary now just names them. `paper` reproduces the six
-//! experiments of the paper, `paper-plus` adds the `ring` scenario, and
-//! `smoke` is a three-point suite cheap enough for CI gates and tests.
+//! experiments of the paper, `paper-plus` adds the `ring` scenario,
+//! `smoke` is a three-point suite cheap enough for CI gates and tests, and
+//! `sweep-10k` is the 10 000-point expansion/scheduling stress sweep.
 
 use crate::scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
 use bbs_taskgraph::presets::{PresetSpec, RandomWorkload};
@@ -14,7 +15,7 @@ pub const RUNTIME_SIZES: [usize; 5] = [4, 8, 12, 16, 24];
 
 /// Names of the built-in suites, in the order `bbs list` prints them.
 pub fn builtin_suite_names() -> &'static [&'static str] {
-    &["paper", "paper-plus", "smoke"]
+    &["paper", "paper-plus", "smoke", "sweep-10k"]
 }
 
 /// Looks a built-in suite up by name.
@@ -23,6 +24,7 @@ pub fn builtin_suite(name: &str) -> Option<Suite> {
         "paper" => Some(paper_suite()),
         "paper-plus" => Some(paper_plus_suite()),
         "smoke" => Some(smoke_suite()),
+        "sweep-10k" => Some(sweep_10k_suite()),
         _ => None,
     }
 }
@@ -164,6 +166,25 @@ pub fn smoke_suite() -> Suite {
     )
 }
 
+/// Points of [`sweep_10k_suite`]'s single scenario.
+pub const SWEEP_10K_POINTS: usize = 10_000;
+
+/// The expansion/scheduling stress suite: one producer/consumer scenario
+/// whose explicit cap list cycles 1..=10 for [`SWEEP_10K_POINTS`] points.
+/// Only ten distinct cache keys exist, so the suite is cheap to *solve* —
+/// 9 990 of its points are in-memory hits — and exists to exercise
+/// expansion, sharding and slot-ordered assembly at three orders of
+/// magnitude more points than the paper suites (determinism CI gates, the
+/// `suite_expansion` bench).
+pub fn sweep_10k_suite() -> Suite {
+    let caps: Vec<u64> = (0..SWEEP_10K_POINTS).map(|i| (i % 10) as u64 + 1).collect();
+    Suite::new(
+        "sweep-10k",
+        vec![Scenario::new("pc-cycle", producer_consumer_workload())
+            .with_sweep(SweepSpec::list(caps))],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +222,21 @@ mod tests {
         let suite = paper_plus_suite();
         assert!(suite.scenarios.iter().any(|s| s.name == "ring"));
         assert_eq!(suite.scenarios.len(), paper_suite().scenarios.len() + 1);
+    }
+
+    #[test]
+    fn sweep_10k_cycles_ten_distinct_caps() {
+        let suite = sweep_10k_suite();
+        assert_eq!(suite.scenarios.len(), 1);
+        let caps = suite.scenarios[0].sweep.as_ref().unwrap().caps().unwrap();
+        assert_eq!(caps.len(), SWEEP_10K_POINTS);
+        let mut distinct: Vec<u64> = caps.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, (1..=10).collect::<Vec<u64>>());
+        // The cycle starts at 1 and repeats verbatim.
+        assert_eq!(&caps[..12], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 2]);
+        suite.validate().unwrap();
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! The file deliberately contains a single `#[test]`: the counter is
 //! process-global, and a lone test keeps the harness from running anything
-//! concurrently with the measured regions.
+//! concurrently with the measured regions. For the same reason the
+//! companion assertion that *suite expansion* allocates O(scenarios), not
+//! O(points), lives in its own file, `expansion_alloc.rs`.
 
 use bbs_engine::ScenarioKeySeed;
 use bbs_taskgraph::presets::{producer_consumer, PaperParameters};

@@ -3,7 +3,7 @@
 //! The serialisable report must be a pure function of the suite definition:
 //! identical bytes across worker counts, cache settings and repeated runs.
 
-use bbs_engine::suites::{paper_plus_suite, smoke_suite};
+use bbs_engine::suites::{paper_plus_suite, smoke_suite, sweep_10k_suite, SWEEP_10K_POINTS};
 use bbs_engine::{
     run_suite, CacheKey, Engine, RunSettings, Scenario, SolveCache, Suite, SuiteReport, SweepSpec,
     WorkloadSpec,
@@ -94,6 +94,37 @@ fn pooled_and_per_run_executors_report_byte_identically_on_paper_plus() {
                 .to_json();
         assert_eq!(fresh, pooled, "pooled vs fresh diverged at --jobs {jobs}");
     }
+}
+
+#[test]
+fn sweep_10k_reports_are_byte_identical_across_jobs_and_executors() {
+    // The 10 000-point generated sweep goes through the parallel chunked
+    // expansion (20 chunks), the work-stealing drain and the slot-ordered
+    // assembly; one worker versus sixteen, pooled versus per-run scoped
+    // threads, the JSON report must not move by a byte. Only ten distinct
+    // cache keys exist, so the suite is cheap to solve and this is really a
+    // scheduling/expansion determinism test at scale.
+    let suite = sweep_10k_suite();
+    let baseline = report_json(&suite, &RunSettings::with_jobs(1));
+    assert_eq!(
+        baseline,
+        report_json(&suite, &RunSettings::with_jobs(16)),
+        "scoped executor diverged between --jobs 1 and --jobs 16"
+    );
+    let engine = Engine::new(16);
+    for jobs in [1usize, 16] {
+        let settings = RunSettings::with_jobs(jobs);
+        let pooled =
+            SuiteReport::from_outcome(&engine.run_suite(&suite, &settings).expect("suite runs"))
+                .to_json();
+        assert_eq!(
+            baseline, pooled,
+            "pooled executor diverged at --jobs {jobs}"
+        );
+    }
+    let report = SuiteReport::from_json(&baseline).unwrap();
+    assert_eq!(report.scenarios[0].points.len(), SWEEP_10K_POINTS);
+    assert!(report.scenarios[0].points.iter().all(|p| p.feasible));
 }
 
 #[test]

@@ -9,6 +9,9 @@
 //! * [`TaskGraph`] — a streaming job: a directed multigraph of [`Task`]s
 //!   connected by bounded FIFO [`Buffer`]s, with a throughput requirement
 //!   expressed as a period `µ(T)`;
+//! * [`ConfigView`] — a copy-on-write view of a configuration (shared base
+//!   plus a per-point delta) that serialises canonically byte-identically to
+//!   a materialised clone, used by sweeps to avoid clone-per-point costs;
 //! * [`ConfigurationBuilder`] — a fluent, name-based builder used by the
 //!   examples and benchmarks;
 //! * [`presets`] — the paper's experimental set-ups (`T1`, `T2`) and random
@@ -37,6 +40,7 @@ mod ids;
 mod memory;
 mod processor;
 mod task;
+mod view;
 
 pub mod presets;
 
@@ -52,6 +56,7 @@ pub use ids::{BufferId, BufferRef, MemoryId, ProcessorId, TaskGraphId, TaskId, T
 pub use memory::Memory;
 pub use processor::Processor;
 pub use task::Task;
+pub use view::{apply_capacity_cap, ConfigView};
 
 #[cfg(test)]
 mod tests {
@@ -61,6 +66,7 @@ mod tests {
     fn public_types_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Configuration>();
+        assert_send_sync::<ConfigView>();
         assert_send_sync::<TaskGraph>();
         assert_send_sync::<Task>();
         assert_send_sync::<Buffer>();

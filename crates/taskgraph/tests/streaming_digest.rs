@@ -8,10 +8,11 @@
 //! `digest.lo == fnv1a(canonical_json().as_bytes())`.
 
 use bbs_taskgraph::{
-    canonical_digest_of, fnv1a, Buffer, Configuration, Memory, Processor, ProcessorId, Task,
-    TaskGraph, TaskId,
+    apply_capacity_cap, canonical_digest_of, fnv1a, Buffer, ConfigView, Configuration, Memory,
+    Processor, ProcessorId, Task, TaskGraph, TaskId,
 };
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Splitmix64: a tiny deterministic stream of u64s from one seed.
 struct Mix(u64);
@@ -120,6 +121,32 @@ proptest! {
         let mut streamed = String::new();
         serde::Serialize::serialize_canonical(&configuration, &mut streamed);
         prop_assert_eq!(streamed, json);
+    }
+
+    #[test]
+    fn capped_views_stream_the_bytes_of_materialised_clones(
+        seed in 0u64..u64::MAX,
+        cap in 1u64..64,
+    ) {
+        let base = Arc::new(arbitrary_valid_configuration(seed));
+        let view = ConfigView::with_capacity_cap(Arc::clone(&base), cap);
+        let clone = apply_capacity_cap(&base, cap);
+        // The view streams exactly the canonical JSON of the capped clone …
+        prop_assert_eq!(view.canonical_json(), clone.canonical_json());
+        // … so both CanonicalHasher lanes agree with the clone's digest …
+        let view_digest = canonical_digest_of(&view);
+        prop_assert_eq!(view_digest, clone.canonical_digest());
+        prop_assert_eq!(view_digest.lo, fnv1a(clone.canonical_json().as_bytes()));
+        // … and materialising the view reproduces the clone exactly.
+        prop_assert_eq!(view.config(), &clone);
+    }
+
+    #[test]
+    fn uncapped_views_are_transparent(seed in 0u64..u64::MAX) {
+        let base = Arc::new(arbitrary_valid_configuration(seed));
+        let view = ConfigView::new(Arc::clone(&base));
+        prop_assert_eq!(view.canonical_json(), base.canonical_json());
+        prop_assert_eq!(canonical_digest_of(&view), base.canonical_digest());
     }
 
     #[test]
