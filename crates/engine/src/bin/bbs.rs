@@ -7,8 +7,11 @@
 //! bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
 //! bbs list
 //! bbs check REPORT.json
-//! bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
+//! bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
 //!           [--cache-dir DIR]
+//! bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
+//!           [--retry-after-ms MS] [--cache-dir DIR] [--cache-max-entries N]
+//! bbs client (run | stats | shutdown | bench) --addr HOST:PORT [...]
 //! ```
 //!
 //! `run` executes a built-in suite (default: `paper`) or a suite file,
@@ -27,16 +30,29 @@
 //! schema-validates a report produced by `run`. The exit code is non-zero
 //! when anything failed, including scenarios with unexpectedly infeasible
 //! points.
+//!
+//! `serve` hosts the engine as a long-lived daemon: many concurrent
+//! clients share one worker pool and one cache/store through a bounded,
+//! fairness-scheduled submission queue (see `bbs_engine::serve`).
+//! `client` is its counterpart: `run` submits a suite and receives a
+//! report byte-identical to a local `bbs run`, `stats` fetches the
+//! machine-readable counters (the same object `bbs cache stats --json`
+//! prints), `shutdown` asks the daemon to drain and exit, and `bench` is
+//! a load generator driving many concurrent submissions.
 
 use bbs_engine::report::render_timing_summary;
+use bbs_engine::serve::{read_reply, send_request, Reply, Request, StoreReport};
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
-    expand_suite, run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, SolveCache,
-    SolveStore, Suite, SuiteReport,
+    expand_suite, run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, ServeConfig,
+    Server, SolveCache, SolveStore, StatsSnapshot, Suite, SuiteReport,
 };
+use std::io::Write as _;
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 usage:
@@ -46,8 +62,15 @@ usage:
   bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
   bbs list
   bbs check REPORT.json
-  bbs cache (stats | clear | gc [--max-entries N] [--max-age SECONDS])
+  bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
             [--cache-dir DIR]
+  bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
+            [--retry-after-ms MS] [--cache-dir DIR] [--cache-max-entries N]
+  bbs client run --addr HOST:PORT [--suite NAME | --file PATH] [--jobs N]
+            [--json PATH] [--quiet]
+  bbs client (stats | shutdown) --addr HOST:PORT
+  bbs client bench --addr HOST:PORT [--clients N] [--requests N]
+            [--suite NAME] [--jobs N]
 
 `--json`/`--csv`/`--markdown` accept `-` for stdout. `--cache-dir` (or the
 BBS_CACHE_DIR environment variable) persists solve results across runs;
@@ -55,7 +78,9 @@ BBS_CACHE_DIR environment variable) persists solve results across runs;
 write path with the same eviction `cache gc --max-entries` applies.
 `--no-steal` schedules work over the single shared queue instead of the
 work-stealing per-worker deques; `--fresh-executor` spawns per-run worker
-threads instead of the reusable pool (reports are identical either way).";
+threads instead of the reusable pool (reports are identical either way).
+`serve` hosts the engine for many concurrent clients; `client run` fetches
+a report byte-identical to a local `bbs run` of the same suite.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +90,8 @@ fn main() -> ExitCode {
         Some("list") => list(),
         Some("check") => check(&args[1..]),
         Some("cache") => cache(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             Ok(())
@@ -169,13 +196,29 @@ fn load_suite(args: &RunArgs) -> Result<Suite, String> {
     })
 }
 
+/// Distinguishes concurrent writers' temp files (two `bbs client` threads,
+/// or a future multi-report run) the same way the store does.
+static WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes a report atomically: temp file in the target directory, then
+/// rename (the store's pattern). An interrupted or failed write — torn
+/// down process, full disk — can never leave a truncated file at `path`;
+/// readers see the old content or the new, nothing in between.
 fn write_output(path: &str, contents: &str, label: &str) -> Result<(), String> {
     if path == "-" {
         print!("{contents}");
-        Ok(())
-    } else {
-        std::fs::write(path, contents).map_err(|e| format!("cannot write {label} {path}: {e}"))
+        return Ok(());
     }
+    let tmp = format!(
+        "{path}.tmp-{}-{}",
+        std::process::id(),
+        WRITE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    let finish = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    finish.map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot write {label} {path}: {e}")
+    })
 }
 
 /// Rejects an empty or all-whitespace `--cache-dir` (e.g. an unset or
@@ -399,6 +442,7 @@ struct CacheArgs {
     cache_dir: Option<String>,
     max_entries: Option<u64>,
     max_age: Option<Duration>,
+    json: bool,
 }
 
 fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
@@ -415,6 +459,7 @@ fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
         cache_dir: None,
         max_entries: None,
         max_age: None,
+        json: false,
     };
     let mut iter = flags.iter();
     while let Some(flag) = iter.next() {
@@ -432,6 +477,7 @@ fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
                         .map_err(|_| format!("--max-entries must be a count, got `{raw}`"))?,
                 );
             }
+            "--json" if action == "stats" => parsed.json = true,
             "--max-age" if action == "gc" => {
                 let raw = value("--max-age")?;
                 let seconds = raw
@@ -466,6 +512,22 @@ fn cache(args: &[String]) -> Result<(), String> {
             let summary = store
                 .summary()
                 .map_err(|e| format!("cannot scan {dir}: {e}"))?;
+            if args.json {
+                // The same serialized shape the serve protocol's `stats`
+                // request returns — one serializer, two transports. The
+                // store section is all an offline CLI has; a daemon adds
+                // queue/engine/cache sections.
+                let snapshot = StatsSnapshot {
+                    store: Some(StoreReport::from_parts(
+                        store.root(),
+                        summary,
+                        store.stats(),
+                    )),
+                    ..StatsSnapshot::new()
+                };
+                print!("{}", snapshot.to_json());
+                return Ok(());
+            }
             println!("cache directory {dir}:");
             println!(
                 "  {} entries ({} feasible, {} infeasible), {} bytes",
@@ -505,6 +567,442 @@ fn cache(args: &[String]) -> Result<(), String> {
             }
         }
         _ => unreachable!("validated by parse_cache_args"),
+    }
+    Ok(())
+}
+
+struct ServeArgs {
+    addr: String,
+    jobs: usize,
+    queue_capacity: u64,
+    retry_after_ms: u64,
+    cache_dir: Option<String>,
+    cache_max_entries: Option<u64>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed = ServeArgs {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 4,
+        queue_capacity: 32,
+        retry_after_ms: 250,
+        cache_dir: None,
+        cache_max_entries: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("--addr")?,
+            "--jobs" => {
+                let raw = value("--jobs")?;
+                parsed.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
+            }
+            "--queue-capacity" => {
+                let raw = value("--queue-capacity")?;
+                parsed.queue_capacity =
+                    raw.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--queue-capacity must be at least 1, got `{raw}`")
+                    })?;
+            }
+            "--retry-after-ms" => {
+                let raw = value("--retry-after-ms")?;
+                parsed.retry_after_ms = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--retry-after-ms must be milliseconds, got `{raw}`"))?;
+            }
+            "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
+            "--cache-max-entries" => {
+                let raw = value("--cache-max-entries")?;
+                parsed.cache_max_entries =
+                    Some(raw.parse::<u64>().map_err(|_| {
+                        format!("--cache-max-entries must be a count, got `{raw}`")
+                    })?);
+            }
+            other => return Err(format!("unknown flag `{other}` for `serve`\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// `bbs serve`: host the engine as a long-lived daemon (see
+/// `bbs_engine::serve`). Blocks until a client sends `shutdown`.
+fn serve(args: &[String]) -> Result<(), String> {
+    let args = parse_serve_args(args)?;
+    let store = match effective_cache_dir(args.cache_dir.as_deref()) {
+        Some(dir) => {
+            let mut store = open_store(&dir)?;
+            if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
+                store = store.with_max_entries(cap);
+            }
+            Some(store)
+        }
+        None => None,
+    };
+    let server = Server::start(ServeConfig {
+        addr: args.addr,
+        workers: args.jobs,
+        queue_capacity: args.queue_capacity,
+        retry_after_ms: args.retry_after_ms,
+        store,
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    println!("bbs serve: listening on {}", server.addr());
+    // Stdout is block-buffered when piped; scripts parse this line to learn
+    // the ephemeral port, so it must leave the process before we block.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot announce address: {e}"))?;
+    server.wait();
+    println!("bbs serve: shut down cleanly");
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), String> {
+    let [action, flags @ ..] = args else {
+        return Err(format!("`client` needs an action\n{USAGE}"));
+    };
+    match action.as_str() {
+        "run" => client_run(flags),
+        "stats" => client_stats(flags),
+        "shutdown" => client_shutdown(flags),
+        "bench" => client_bench(flags),
+        other => Err(format!(
+            "unknown client action `{other}`; known: run, stats, shutdown, bench\n{USAGE}"
+        )),
+    }
+}
+
+fn connect(addr: Option<&str>) -> Result<TcpStream, String> {
+    let addr = addr.ok_or("`client` needs --addr HOST:PORT")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+fn next_reply(stream: &mut TcpStream) -> Result<Reply, String> {
+    read_reply(stream)
+        .map_err(|e| format!("connection failed: {e}"))?
+        .ok_or_else(|| "server closed the connection early".to_string())
+}
+
+struct ClientRunArgs {
+    addr: Option<String>,
+    suite: Option<String>,
+    file: Option<String>,
+    jobs: u64,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_client_run_args(args: &[String]) -> Result<ClientRunArgs, String> {
+    let mut parsed = ClientRunArgs {
+        addr: None,
+        suite: None,
+        file: None,
+        jobs: 1,
+        json: None,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")?),
+            "--suite" => parsed.suite = Some(value("--suite")?),
+            "--file" => parsed.file = Some(value("--file")?),
+            "--jobs" => {
+                let raw = value("--jobs")?;
+                parsed.jobs = raw
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
+            }
+            "--json" => parsed.json = Some(value("--json")?),
+            "--quiet" => parsed.quiet = true,
+            other => return Err(format!("unknown flag `{other}` for `client run`\n{USAGE}")),
+        }
+    }
+    if parsed.suite.is_some() && parsed.file.is_some() {
+        return Err("use either --suite or --file, not both".to_string());
+    }
+    Ok(parsed)
+}
+
+/// `bbs client run`: submit one suite, stream the progress, and write the
+/// returned report — byte-identical to a local `bbs run --json` of the
+/// same suite — with the same atomic write discipline.
+fn client_run(args: &[String]) -> Result<(), String> {
+    let args = parse_client_run_args(args)?;
+    let request = if let Some(path) = &args.file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let suite: Suite =
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not a suite file: {e}"))?;
+        Request::run_suite(suite, args.jobs)
+    } else {
+        Request::run_builtin(args.suite.as_deref().unwrap_or("paper"), args.jobs)
+    };
+    let mut stream = connect(args.addr.as_deref())?;
+    send_request(&mut stream, &request).map_err(|e| format!("cannot submit: {e}"))?;
+    let mut points = 0u64;
+    loop {
+        let reply = next_reply(&mut stream)?;
+        match reply.kind.as_str() {
+            "accepted" => {
+                if !args.quiet {
+                    println!(
+                        "accepted as ticket {} (queue depth {})",
+                        reply.ticket.unwrap_or(0),
+                        reply.queue_depth.unwrap_or(0)
+                    );
+                }
+            }
+            "rejected" => {
+                return Err(format!(
+                    "submission rejected: {} (retry after {} ms)",
+                    reply.message.as_deref().unwrap_or("no reason given"),
+                    reply.retry_after_ms.unwrap_or(0)
+                ));
+            }
+            "point" => {
+                points += 1;
+                if !args.quiet {
+                    let cap = reply
+                        .capacity_cap
+                        .map(|c| format!("cap {c}"))
+                        .unwrap_or_else(|| "uncapped".to_string());
+                    println!(
+                        "  {} {}: {}",
+                        reply.scenario.as_deref().unwrap_or("?"),
+                        cap,
+                        if reply.feasible == Some(true) {
+                            "feasible"
+                        } else {
+                            "infeasible"
+                        }
+                    );
+                }
+            }
+            "report" => {
+                let text = reply.report.ok_or("report reply carried no report text")?;
+                if let Some(path) = &args.json {
+                    write_output(path, &text, "JSON report")?;
+                }
+                if !args.quiet {
+                    println!("report complete: {points} points");
+                }
+                // A failure summary means the suite ran but some points
+                // failed unexpectedly — mirror `bbs run`'s nonzero exit.
+                return match reply.message {
+                    None => Ok(()),
+                    Some(message) => Err(message),
+                };
+            }
+            "error" => {
+                return Err(reply
+                    .message
+                    .unwrap_or_else(|| "server reported an error".to_string()))
+            }
+            other => return Err(format!("unexpected reply kind `{other}`")),
+        }
+    }
+}
+
+fn parse_addr_only(args: &[String], action: &str) -> Result<Option<String>, String> {
+    let mut addr = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--addr" => {
+                addr = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| "--addr needs a value".to_string())?,
+                );
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` for `client {action}`\n{USAGE}"
+                ))
+            }
+        }
+    }
+    Ok(addr)
+}
+
+/// `bbs client stats`: print the daemon's machine-readable counters — the
+/// same object `bbs cache stats --json` prints for an offline store.
+fn client_stats(args: &[String]) -> Result<(), String> {
+    let addr = parse_addr_only(args, "stats")?;
+    let mut stream = connect(addr.as_deref())?;
+    send_request(&mut stream, &Request::stats()).map_err(|e| format!("cannot query: {e}"))?;
+    let reply = next_reply(&mut stream)?;
+    match (reply.kind.as_str(), reply.stats) {
+        ("stats", Some(snapshot)) => {
+            print!("{}", snapshot.to_json());
+            Ok(())
+        }
+        ("error", _) => Err(reply
+            .message
+            .unwrap_or_else(|| "server reported an error".to_string())),
+        (other, _) => Err(format!("unexpected reply kind `{other}`")),
+    }
+}
+
+/// `bbs client shutdown`: ask the daemon to drain in-flight work and exit.
+fn client_shutdown(args: &[String]) -> Result<(), String> {
+    let addr = parse_addr_only(args, "shutdown")?;
+    let mut stream = connect(addr.as_deref())?;
+    send_request(&mut stream, &Request::shutdown()).map_err(|e| format!("cannot request: {e}"))?;
+    let reply = next_reply(&mut stream)?;
+    match reply.kind.as_str() {
+        "bye" => {
+            println!("server acknowledged shutdown");
+            Ok(())
+        }
+        "error" => Err(reply
+            .message
+            .unwrap_or_else(|| "server reported an error".to_string())),
+        other => Err(format!("unexpected reply kind `{other}`")),
+    }
+}
+
+struct ClientBenchArgs {
+    addr: Option<String>,
+    clients: u64,
+    requests: u64,
+    suite: String,
+    jobs: u64,
+}
+
+fn parse_client_bench_args(args: &[String]) -> Result<ClientBenchArgs, String> {
+    let mut parsed = ClientBenchArgs {
+        addr: None,
+        clients: 8,
+        requests: 4,
+        suite: "smoke".to_string(),
+        jobs: 1,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let count = |name: &str, raw: String| {
+            raw.parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("{name} must be at least 1, got `{raw}`"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")?),
+            "--clients" => parsed.clients = count("--clients", value("--clients")?)?,
+            "--requests" => parsed.requests = count("--requests", value("--requests")?)?,
+            "--suite" => parsed.suite = value("--suite")?,
+            "--jobs" => parsed.jobs = count("--jobs", value("--jobs")?)?.min(64),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` for `client bench`\n{USAGE}"
+                ))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// `bbs client bench`: the load generator — N concurrent client
+/// connections each submitting M suites through real sockets, retrying
+/// after structured rejections, reporting aggregate throughput.
+fn client_bench(args: &[String]) -> Result<(), String> {
+    let args = parse_client_bench_args(args)?;
+    let addr = args
+        .addr
+        .clone()
+        .ok_or("`client bench` needs --addr HOST:PORT")?;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..args.clients {
+        let addr = addr.clone();
+        let suite = args.suite.clone();
+        let requests = args.requests;
+        let jobs = args.jobs;
+        handles.push(std::thread::spawn(
+            move || -> Result<(u64, u64, u64), String> {
+                let mut stream = connect(Some(&addr))?;
+                let request = Request::run_builtin(&suite, jobs);
+                let (mut completed, mut retries, mut points) = (0u64, 0u64, 0u64);
+                for _ in 0..requests {
+                    'submit: loop {
+                        send_request(&mut stream, &request)
+                            .map_err(|e| format!("cannot submit: {e}"))?;
+                        loop {
+                            let reply = next_reply(&mut stream)?;
+                            match reply.kind.as_str() {
+                                "accepted" => {}
+                                "point" => points += 1,
+                                "report" => {
+                                    completed += 1;
+                                    break 'submit;
+                                }
+                                "rejected" => {
+                                    // Structured back-pressure: honour the
+                                    // server's retry hint, then resubmit.
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        reply.retry_after_ms.unwrap_or(100),
+                                    ));
+                                    continue 'submit;
+                                }
+                                "error" => {
+                                    return Err(reply
+                                        .message
+                                        .unwrap_or_else(|| "server reported an error".to_string()))
+                                }
+                                other => return Err(format!("unexpected reply kind `{other}`")),
+                            }
+                        }
+                    }
+                }
+                Ok((completed, retries, points))
+            },
+        ));
+    }
+    let (mut completed, mut retries, mut points) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        let (c, r, p) = handle
+            .join()
+            .map_err(|_| "bench client thread panicked".to_string())??;
+        completed += c;
+        retries += r;
+        points += p;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "bench: {} clients x {} submissions of `{}` against {addr}",
+        args.clients, args.requests, args.suite
+    );
+    println!(
+        "  {completed} completed ({points} points), {retries} retries after rejection, {:.2?} total",
+        elapsed
+    );
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        println!("  {:.1} submissions/s", completed as f64 / secs);
     }
     Ok(())
 }

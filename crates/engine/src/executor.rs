@@ -272,6 +272,15 @@ pub(crate) struct WorkItem {
     key: CacheKey,
 }
 
+impl WorkItem {
+    /// The pre-derived cache key of this solve — what
+    /// [`Engine::submit`](crate::Engine::submit) counts distinct keys over
+    /// for its submission-local hit/miss accounting.
+    pub(crate) fn key(&self) -> CacheKey {
+        self.key
+    }
+}
+
 /// Live counters shared by all workers of one pool.
 #[derive(Default)]
 pub(crate) struct PoolCounters {

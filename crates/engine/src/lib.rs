@@ -27,6 +27,12 @@
 //! * [`report`] — the machine-readable [`SuiteReport`] (schema-versioned
 //!   JSON, CSV, markdown) and the human renderers. Reports carry no
 //!   wall-clock data and are byte-identical across worker counts.
+//! * [`serve`] — the service layer: a long-lived TCP daemon speaking
+//!   length-prefixed JSON frames that multiplexes many concurrent clients
+//!   onto one shared [`Engine`] + cache/store, behind a bounded
+//!   admission-controlled submission queue with round-robin per-client
+//!   fairness. Reports obtained through it are byte-identical to local
+//!   runs.
 //!
 //! The `bbs` binary is the command-line face of all of this:
 //!
@@ -37,6 +43,8 @@
 //! bbs list
 //! bbs check report.json
 //! bbs cache stats --cache-dir target/bbs-cache
+//! bbs serve --addr 127.0.0.1:7777 --jobs 8 --cache-dir target/bbs-cache
+//! bbs client run --addr 127.0.0.1:7777 --suite smoke --json report.json
 //! ```
 //!
 //! See `docs/ARCHITECTURE.md` for the crate map and the solve pipeline, and
@@ -67,6 +75,7 @@ pub mod executor;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod store;
 pub mod suites;
 
@@ -81,6 +90,7 @@ pub use executor::{
 pub use pool::Engine;
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
+pub use serve::{Reply, Request, ServeConfig, Server, StatsSnapshot};
 pub use store::{
     GcOutcome, GcPolicy, SolveStore, StoreEntry, StoreStats, StoreSummary, STORE_SCHEMA_VERSION,
 };

@@ -37,14 +37,14 @@
 //! assert_eq!(second.cache.misses, first.cache.misses, "no new solves");
 //! ```
 
-use crate::cache::SolveCache;
+use crate::cache::{CacheStats, SolveCache};
 use crate::error::EngineError;
 use crate::executor::{
     assemble_outcome, drain_worker, plan, shard_items, ExpansionJob, ExpansionSummary,
-    PointOutcome, PoolCounters, RunSettings, SuiteOutcome, WorkItem,
+    PointOutcome, PoolCounters, ResolvedScenario, RunSettings, SuiteOutcome, WorkItem,
 };
 use crate::scenario::Suite;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -176,6 +176,85 @@ impl Engine {
         let start = Instant::now();
         let planned = plan(suite, settings)?;
         let items = self.expand(planned.expansion, settings.jobs.max(1));
+        Ok(self.solve_items(
+            suite,
+            planned.resolved,
+            items,
+            planned.injection_target,
+            settings,
+            cache,
+            start,
+        ))
+    }
+
+    /// Runs one suite *submission* against the shared pool and cache tiers —
+    /// the entry point of server-style callers (see
+    /// [`serve`](crate::serve)), where one long-lived cache outlives many
+    /// submissions.
+    ///
+    /// The difference from [`Engine::run_suite_with_cache`] is the cache
+    /// accounting: instead of the shared cache's *cumulative* totals, the
+    /// outcome carries **submission-local** counters derived from the suite
+    /// alone — `misses` is the number of distinct solve keys this suite
+    /// expands to, `hits` the number of repeated lookups within it. Those
+    /// are exactly the counters a cold fresh-cache run of the same suite
+    /// reports, so the report of a submission is byte-identical to `bbs run`
+    /// of the same suite **no matter how warm the shared tiers are** — the
+    /// determinism carve-out the service's `cmp` gates rely on. What the
+    /// shared tiers actually answered stays observable in the outcome's
+    /// `store` counters and per-point [`SolveSource`](crate::SolveSource)s
+    /// (timing-summary data, never part of the report).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_suite`].
+    pub fn submit(
+        &self,
+        suite: &Suite,
+        settings: &RunSettings,
+        cache: &Arc<SolveCache>,
+    ) -> Result<SuiteOutcome, EngineError> {
+        let start = Instant::now();
+        let planned = plan(suite, settings)?;
+        let items = self.expand(planned.expansion, settings.jobs.max(1));
+        let mut distinct = HashSet::with_capacity(items.len());
+        let mut misses = 0u64;
+        for item in &items {
+            if distinct.insert(item.key()) {
+                misses += 1;
+            }
+        }
+        let hits = items.len() as u64 - misses;
+        let mut outcome = self.solve_items(
+            suite,
+            planned.resolved,
+            items,
+            planned.injection_target,
+            settings,
+            cache,
+            start,
+        );
+        if settings.use_cache {
+            outcome.cache = CacheStats { hits, misses };
+        }
+        Ok(outcome)
+    }
+
+    /// The shared solve phase behind [`Engine::run_suite_with_cache`] and
+    /// [`Engine::submit`]: shard the expanded items, hand every
+    /// participating parked worker a solve assignment, and assemble the
+    /// outcome in suite order.
+    #[allow(clippy::too_many_arguments)] // two call sites, all distinct state
+    fn solve_items(
+        &self,
+        suite: &Suite,
+        resolved: Vec<ResolvedScenario>,
+        items: Vec<WorkItem>,
+        injection_target: Option<(usize, usize)>,
+        settings: &RunSettings,
+        cache: &Arc<SolveCache>,
+        start: Instant,
+    ) -> SuiteOutcome {
         let jobs = settings
             .jobs
             .max(1)
@@ -185,7 +264,7 @@ impl Engine {
             shards: shard_items(items, jobs, settings.steal),
             counters: PoolCounters::default(),
             settings: settings.clone(),
-            injection_target: planned.injection_target,
+            injection_target,
             cache: Arc::clone(cache),
         });
         let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
@@ -202,16 +281,16 @@ impl Engine {
                 .expect("engine worker thread is alive");
         }
         drop(sender);
-        Ok(assemble_outcome(
+        assemble_outcome(
             suite,
-            planned.resolved,
+            resolved,
             receiver,
             settings,
             &job.cache,
             &job.counters,
             jobs,
             start,
-        ))
+        )
     }
 
     /// Resolves and expands `suite` on the pooled workers — the exact
@@ -330,6 +409,54 @@ mod tests {
             .unwrap();
         assert_eq!(second.cache.misses, 6, "no new solves on the second run");
         assert_eq!(second.cache.hits, 6);
+    }
+
+    #[test]
+    fn submit_reports_submission_local_counters_on_a_warm_shared_cache() {
+        use crate::cache::SolveSource;
+        let engine = Engine::new(4);
+        let cache = Arc::new(SolveCache::new());
+        let settings = RunSettings::with_jobs(4);
+        let suite = Suite::new("served", vec![pc_sweep_scenario("pc")]);
+        let cold = engine.submit(&suite, &settings, &cache).unwrap();
+        let warm = engine.submit(&suite, &settings, &cache).unwrap();
+        // Submission-local accounting: 6 distinct keys, no repeats — the
+        // same counters whether the shared tiers were cold or warm.
+        assert_eq!(cold.cache, CacheStats { hits: 0, misses: 6 });
+        assert_eq!(warm.cache, cold.cache);
+        // And therefore byte-identical reports, including against a cold
+        // one-shot run.
+        let reference = SuiteReport::from_outcome(&run_suite(&suite, &settings).unwrap());
+        assert_eq!(
+            SuiteReport::from_outcome(&cold).to_json(),
+            reference.to_json()
+        );
+        assert_eq!(
+            SuiteReport::from_outcome(&warm).to_json(),
+            reference.to_json()
+        );
+        // The shared tiers really did answer the warm submission.
+        assert!(warm.scenarios[0]
+            .points
+            .iter()
+            .all(|p| p.source == SolveSource::Memory));
+    }
+
+    #[test]
+    fn submit_counts_repeated_keys_within_a_submission_as_hits() {
+        let engine = Engine::new(2);
+        let cache = Arc::new(SolveCache::new());
+        let settings = RunSettings::with_jobs(2);
+        // Two identical scenarios: six distinct keys, six repeats — exactly
+        // what a cold fresh-cache run of the same suite reports.
+        let suite = Suite::new(
+            "dupes",
+            vec![pc_sweep_scenario("first"), pc_sweep_scenario("second")],
+        );
+        let outcome = engine.submit(&suite, &settings, &cache).unwrap();
+        assert_eq!(outcome.cache, CacheStats { hits: 6, misses: 6 });
+        let reference = run_suite(&suite, &settings).unwrap();
+        assert_eq!(outcome.cache, reference.cache);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! The service layer: a long-lived multi-client solve daemon.
+//!
+//! `bbs serve` turns the one-shot solve pipeline into a server: a
+//! [`Server`] listens on a `std::net::TcpListener`, accepts connections
+//! from many concurrent clients, and multiplexes their suite submissions
+//! onto **one** shared [`Engine`](crate::Engine) and one shared
+//! [`SolveCache`](crate::SolveCache)/[`SolveStore`](crate::SolveStore)
+//! pair. The moving parts:
+//!
+//! * [`protocol`] — the wire format: 4-byte big-endian length-prefixed
+//!   UTF-8 JSON frames carrying tagged [`Request`]/[`Reply`] structs, plus
+//!   the machine-readable [`StatsSnapshot`] that both the `stats` request
+//!   and `bbs cache stats --json` serialize.
+//! * [`queue`] — the bounded [`SubmissionQueue`]: admission control
+//!   (reject-with-retry-after when full, never a silent drop) and
+//!   round-robin per-client fairness when draining.
+//! * [`session`] — one reader thread per connection: frames in, requests
+//!   dispatched, per-point replies streamed back in deterministic suite
+//!   order.
+//! * [`server`] — the accept loop, the single dispatcher thread feeding
+//!   the shared engine, and graceful shutdown (drain in-flight, refuse
+//!   new).
+//!
+//! # Determinism carve-out
+//!
+//! Each submission's response stream — its per-point replies and its final
+//! report — is deterministic and byte-identical to `bbs run` of the same
+//! suite, regardless of cache warmth (see
+//! [`Engine::submit`](crate::Engine::submit)). The *interleaving* of
+//! frames across different connections is scheduling-dependent and is
+//! deliberately kept out of every report.
+
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod session;
+
+pub use protocol::{
+    read_frame, read_reply, send_reply, send_request, write_frame, EngineStats, QueueStats, Reply,
+    Request, StatsSnapshot, StoreReport, MAX_FRAME_BYTES, STATS_SCHEMA_VERSION,
+};
+pub use queue::{Admission, SubmissionQueue};
+pub use server::{ServeConfig, Server};

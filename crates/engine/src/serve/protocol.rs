@@ -1,0 +1,670 @@
+//! The wire protocol: length-prefixed JSON frames and the tagged
+//! request/reply vocabulary.
+//!
+//! Every message is one *frame*: a 4-byte big-endian `u32` payload length
+//! followed by that many bytes of UTF-8 JSON. Framing is hand-rolled over
+//! `std::io` so the daemon needs no async runtime; a blocked `read` on one
+//! connection never stalls another because each connection owns a thread.
+//!
+//! Requests and replies are *tagged structs* rather than enums: a `kind`
+//! discriminant string plus optional per-kind fields. This keeps the wire
+//! shape within what the vendored `serde_derive` shim supports (plain
+//! non-generic structs) while staying forward-compatible — unknown fields
+//! are ignored, missing optional fields decode as `None`.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::scenario::Suite;
+
+/// Upper bound on a single frame's payload, in bytes (32 MiB).
+///
+/// Large enough for any realistic suite or report, small enough that a
+/// corrupt or hostile length header cannot make the peer allocate
+/// gigabytes.
+pub const MAX_FRAME_BYTES: u32 = 32 * 1024 * 1024;
+
+/// Schema version stamped into every [`StatsSnapshot`].
+pub const STATS_SCHEMA_VERSION: u64 = 1;
+
+/// Writes one length-prefixed frame and flushes the stream.
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    // One write for header + payload: a split write would let Nagle hold
+    // the 4-byte header back for the peer's delayed ACK (~40ms per frame).
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer closed
+/// the connection between messages). EOF in the middle of a frame is an
+/// `UnexpectedEof` error — the peer died mid-message.
+pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(stream, &mut header)? {
+        HeaderRead::Eof => return Ok(None),
+        HeaderRead::Full => {}
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header claims {len} bytes, above the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Like [`read_frame`], but tolerates read timeouts while *idle* so the
+/// server can notice a shutdown flag between requests.
+///
+/// The stream should have a read timeout configured. While no header byte
+/// has arrived yet, a timeout just re-checks `shutdown`; returns
+/// `Ok(None)` if it was raised (or on clean EOF). Once any byte of a frame
+/// has arrived, the peer is mid-message and timeouts keep waiting for the
+/// rest.
+pub fn read_frame_interruptible<R: Read>(
+    stream: &mut R,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut have = 0usize;
+    while have < header.len() {
+        match stream.read(&mut header[have..]) {
+            Ok(0) => {
+                if have == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if have == 0 && shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header claims {len} bytes, above the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut read = 0usize;
+    while read < payload.len() {
+        match stream.read(&mut payload[read..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+enum HeaderRead {
+    Full,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(stream: &mut R, buf: &mut [u8]) -> io::Result<HeaderRead> {
+    let mut have = 0usize;
+    while have < buf.len() {
+        match stream.read(&mut buf[have..]) {
+            Ok(0) => {
+                if have == 0 {
+                    return Ok(HeaderRead::Eof);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(HeaderRead::Full)
+}
+
+/// Serializes a request and writes it as one frame.
+pub fn send_request<W: Write>(stream: &mut W, request: &Request) -> io::Result<()> {
+    let payload = serde_json::to_vec(request)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(stream, &payload)
+}
+
+/// Serializes a reply and writes it as one frame.
+pub fn send_reply<W: Write>(stream: &mut W, reply: &Reply) -> io::Result<()> {
+    let payload = serde_json::to_vec(reply)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(stream, &payload)
+}
+
+/// Reads one frame and decodes it as a [`Reply`].
+///
+/// Returns `Ok(None)` on clean EOF; a frame that is not valid reply JSON
+/// is an `InvalidData` error.
+pub fn read_reply<R: Read>(stream: &mut R) -> io::Result<Option<Reply>> {
+    match read_frame(stream)? {
+        None => Ok(None),
+        Some(payload) => serde_json::from_slice(&payload)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// A client-to-server message.
+///
+/// `kind` selects the operation; the optional fields are per-kind
+/// parameters:
+///
+/// * `"run"` — submit a suite for solving. Exactly one of `suite` (an
+///   inline suite definition) or `suite_name` (a built-in) may be set;
+///   neither defaults to the built-in `paper` suite. `jobs` caps worker
+///   parallelism for this submission.
+/// * `"stats"` — request a [`StatsSnapshot`].
+/// * `"shutdown"` — ask the server to drain and exit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation discriminant: `"run"`, `"stats"` or `"shutdown"`.
+    pub kind: String,
+    /// Inline suite definition for a `"run"` request.
+    pub suite: Option<Suite>,
+    /// Built-in suite name for a `"run"` request.
+    pub suite_name: Option<String>,
+    /// Worker-parallelism cap for this submission.
+    pub jobs: Option<u64>,
+}
+
+impl Request {
+    /// A `"run"` request for a built-in suite by name.
+    pub fn run_builtin(name: &str, jobs: u64) -> Self {
+        Self {
+            kind: "run".to_string(),
+            suite: None,
+            suite_name: Some(name.to_string()),
+            jobs: Some(jobs),
+        }
+    }
+
+    /// A `"run"` request carrying an inline suite definition.
+    pub fn run_suite(suite: Suite, jobs: u64) -> Self {
+        Self {
+            kind: "run".to_string(),
+            suite: Some(suite),
+            suite_name: None,
+            jobs: Some(jobs),
+        }
+    }
+
+    /// A `"stats"` request.
+    pub fn stats() -> Self {
+        Self {
+            kind: "stats".to_string(),
+            suite: None,
+            suite_name: None,
+            jobs: None,
+        }
+    }
+
+    /// A `"shutdown"` request.
+    pub fn shutdown() -> Self {
+        Self {
+            kind: "shutdown".to_string(),
+            suite: None,
+            suite_name: None,
+            jobs: None,
+        }
+    }
+}
+
+/// A server-to-client message.
+///
+/// `kind` is the discriminant:
+///
+/// * `"accepted"` — the submission was admitted; `ticket` identifies it,
+///   `queue_depth` is the depth observed at admission.
+/// * `"rejected"` — admission control refused the submission; `message`
+///   says why and `retry_after_ms` is the suggested back-off. Never sent
+///   silently — every refused submission gets one.
+/// * `"point"` — one solved sweep point, streamed in deterministic suite
+///   order: `scenario`, `capacity_cap` and `feasible` describe it.
+/// * `"report"` — the submission is complete; `report` holds the exact
+///   `SuiteReport::to_json()` text, and `message` carries a failure
+///   summary when any point failed unexpectedly.
+/// * `"stats"` — answer to a `"stats"` request, in `stats`.
+/// * `"bye"` — acknowledgement of a `"shutdown"` request.
+/// * `"error"` — the request could not be handled; `message` explains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// Message discriminant (see the type-level list).
+    pub kind: String,
+    /// Submission ticket, on `"accepted"`.
+    pub ticket: Option<u64>,
+    /// Queue depth observed at admission, on `"accepted"`.
+    pub queue_depth: Option<u64>,
+    /// Suggested back-off before retrying, on `"rejected"`.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable detail, on `"rejected"`, `"report"` and `"error"`.
+    pub message: Option<String>,
+    /// Scenario name, on `"point"`.
+    pub scenario: Option<String>,
+    /// Sweep capacity cap, on `"point"`.
+    pub capacity_cap: Option<u64>,
+    /// Whether the point's solve was feasible, on `"point"`.
+    pub feasible: Option<bool>,
+    /// The full report JSON text, on `"report"`.
+    pub report: Option<String>,
+    /// The stats payload, on `"stats"`.
+    pub stats: Option<StatsSnapshot>,
+}
+
+impl Reply {
+    fn blank(kind: &str) -> Self {
+        Self {
+            kind: kind.to_string(),
+            ticket: None,
+            queue_depth: None,
+            retry_after_ms: None,
+            message: None,
+            scenario: None,
+            capacity_cap: None,
+            feasible: None,
+            report: None,
+            stats: None,
+        }
+    }
+
+    /// An `"accepted"` reply.
+    pub fn accepted(ticket: u64, queue_depth: u64) -> Self {
+        Self {
+            ticket: Some(ticket),
+            queue_depth: Some(queue_depth),
+            ..Self::blank("accepted")
+        }
+    }
+
+    /// A `"rejected"` reply with a retry hint.
+    pub fn rejected(message: &str, retry_after_ms: u64) -> Self {
+        Self {
+            message: Some(message.to_string()),
+            retry_after_ms: Some(retry_after_ms),
+            ..Self::blank("rejected")
+        }
+    }
+
+    /// A `"point"` reply for one solved sweep point (`capacity_cap` is
+    /// `None` for single, unswept solves).
+    pub fn point(scenario: &str, capacity_cap: Option<u64>, feasible: bool) -> Self {
+        Self {
+            scenario: Some(scenario.to_string()),
+            capacity_cap,
+            feasible: Some(feasible),
+            ..Self::blank("point")
+        }
+    }
+
+    /// A `"report"` reply carrying the exact report JSON text and an
+    /// optional failure summary.
+    pub fn report(report: String, failures: Option<String>) -> Self {
+        Self {
+            report: Some(report),
+            message: failures,
+            ..Self::blank("report")
+        }
+    }
+
+    /// A `"stats"` reply.
+    pub fn stats(snapshot: StatsSnapshot) -> Self {
+        Self {
+            stats: Some(snapshot),
+            ..Self::blank("stats")
+        }
+    }
+
+    /// A `"bye"` reply acknowledging shutdown.
+    pub fn bye() -> Self {
+        Self::blank("bye")
+    }
+
+    /// An `"error"` reply with an explanation.
+    pub fn error(message: &str) -> Self {
+        Self {
+            message: Some(message.to_string()),
+            ..Self::blank("error")
+        }
+    }
+}
+
+/// Counters of the bounded submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Submissions currently waiting in the queue.
+    pub depth: u64,
+    /// Submissions handed to the engine but not yet completed.
+    pub in_flight: u64,
+    /// Admission-control capacity (queued + in-flight bound).
+    pub capacity: u64,
+    /// Total submissions ever admitted.
+    pub submitted: u64,
+    /// Total submissions completed.
+    pub completed: u64,
+    /// Total submissions refused by admission control.
+    pub rejected: u64,
+}
+
+/// Counters of the shared engine pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Persistent worker threads in the shared pool.
+    pub workers: u64,
+}
+
+/// Combined view of the persistent store: contents plus lifetime traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Root directory of the on-disk store.
+    pub directory: String,
+    /// Entries currently on disk.
+    pub entries: u64,
+    /// Entries holding feasible results.
+    pub feasible: u64,
+    /// Entries holding infeasible results.
+    pub infeasible: u64,
+    /// Unreadable or schema-mismatched entries.
+    pub corrupt: u64,
+    /// Total bytes across all entries.
+    pub total_bytes: u64,
+    /// Solves answered from disk this process.
+    pub disk_hits: u64,
+    /// Solves that missed both tiers this process.
+    pub fresh_solves: u64,
+    /// Results newly written to disk this process.
+    pub stored: u64,
+    /// Results refused by the store's entry cap this process.
+    pub rejected: u64,
+}
+
+impl StoreReport {
+    /// Combines one store's on-disk scan with its per-process traffic
+    /// counters.
+    pub fn from_parts(
+        directory: &std::path::Path,
+        summary: crate::store::StoreSummary,
+        stats: crate::store::StoreStats,
+    ) -> Self {
+        Self {
+            directory: directory.display().to_string(),
+            entries: summary.entries,
+            feasible: summary.feasible,
+            infeasible: summary.infeasible,
+            corrupt: summary.corrupt,
+            total_bytes: summary.total_bytes,
+            disk_hits: stats.disk_hits,
+            fresh_solves: stats.fresh_solves,
+            stored: stats.stored,
+            rejected: stats.rejected,
+        }
+    }
+
+    /// Builds the combined view of one store: the on-disk scan
+    /// ([`SolveStore::summary`](crate::SolveStore::summary), zeroed if the
+    /// scan fails — stats must stay servable on a degraded disk) plus this
+    /// process's traffic counters
+    /// ([`SolveStore::stats`](crate::SolveStore::stats)).
+    pub fn for_store(store: &crate::store::SolveStore) -> Self {
+        Self::from_parts(
+            store.root(),
+            store.summary().unwrap_or_default(),
+            store.stats(),
+        )
+    }
+}
+
+/// The machine-readable stats object.
+///
+/// This is the **one** serialized shape shared by the `stats` protocol
+/// request and `bbs cache stats --json`: both emit exactly
+/// [`StatsSnapshot::to_json`]. Sections are optional so each producer
+/// includes only what it has — the CLI offline path has a store but no
+/// queue or engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Stats schema version ([`STATS_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Submission-queue counters, when a queue exists.
+    pub queue: Option<QueueStats>,
+    /// Engine-pool counters, when an engine exists.
+    pub engine: Option<EngineStats>,
+    /// In-memory solve-cache counters, when a cache exists.
+    pub cache: Option<CacheStats>,
+    /// Persistent-store view, when a store is attached.
+    pub store: Option<StoreReport>,
+}
+
+impl StatsSnapshot {
+    /// An empty snapshot at the current schema version.
+    pub fn new() -> Self {
+        Self {
+            schema: STATS_SCHEMA_VERSION,
+            queue: None,
+            engine: None,
+            cache: None,
+            store: None,
+        }
+    }
+
+    /// Serializes the snapshot as pretty JSON with a trailing newline —
+    /// the canonical machine-readable form for both the protocol and the
+    /// CLI.
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("stats snapshot serializes");
+        text.push('\n');
+        text
+    }
+
+    /// Parses a snapshot back from [`StatsSnapshot::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+impl Default for StatsSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, SweepSpec, WorkloadSpec};
+    use bbs_taskgraph::presets::PresetSpec;
+    use std::io::Cursor;
+
+    fn sample_suite() -> Suite {
+        Suite::new(
+            "wire",
+            vec![Scenario::new(
+                "pc",
+                WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
+            )
+            .with_sweep(SweepSpec::range(1, 3))],
+        )
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"first").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        write_frame(&mut buffer, "snowman \u{2603}".as_bytes()).unwrap();
+        let mut cursor = Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            "snowman \u{2603}".as_bytes()
+        );
+        // Clean EOF at a frame boundary is a graceful end of stream.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_and_oversized_headers_are_errors() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"whole frame").unwrap();
+        buffer.truncate(buffer.len() - 3);
+        let mut cursor = Cursor::new(buffer);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let huge = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        let mut cursor = Cursor::new(huge);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut sink = Vec::new();
+        let payload = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        assert!(write_frame(&mut sink, &payload).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let requests = vec![
+            Request::run_builtin("smoke", 4),
+            Request::run_suite(sample_suite(), 2),
+            Request::stats(),
+            Request::shutdown(),
+        ];
+        let mut buffer = Vec::new();
+        for request in &requests {
+            send_request(&mut buffer, request).unwrap();
+        }
+        let mut cursor = Cursor::new(buffer);
+        for request in &requests {
+            let payload = read_frame(&mut cursor).unwrap().unwrap();
+            let decoded: Request = serde_json::from_slice(&payload).unwrap();
+            assert_eq!(&decoded, request);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_including_the_verbatim_report_text() {
+        let report_text = "{\n  \"schema\": 1,\n  \"name\": \"quoted \\\"x\\\"\"\n}\n";
+        let replies = vec![
+            Reply::accepted(7, 3),
+            Reply::rejected("queue full", 250),
+            Reply::point("pc", Some(4), true),
+            Reply::point("single", None, false),
+            Reply::report(report_text.to_string(), Some("1 failure".to_string())),
+            Reply::stats(StatsSnapshot::new()),
+            Reply::bye(),
+            Reply::error("unknown kind"),
+        ];
+        let mut buffer = Vec::new();
+        for reply in &replies {
+            let payload = serde_json::to_vec(reply).unwrap();
+            write_frame(&mut buffer, &payload).unwrap();
+        }
+        let mut cursor = Cursor::new(buffer);
+        for reply in &replies {
+            let decoded = read_reply(&mut cursor).unwrap().unwrap();
+            assert_eq!(&decoded, reply);
+        }
+        // The report text survives escaping byte-for-byte — the property
+        // the CI `cmp` gate rests on.
+        let echoed = Reply::report(report_text.to_string(), None);
+        let wire = serde_json::to_vec(&echoed).unwrap();
+        let back: Reply = serde_json::from_slice(&wire).unwrap();
+        assert_eq!(back.report.as_deref(), Some(report_text));
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_with_and_without_sections() {
+        let empty = StatsSnapshot::new();
+        assert_eq!(StatsSnapshot::from_json(&empty.to_json()).unwrap(), empty);
+
+        let full = StatsSnapshot {
+            schema: STATS_SCHEMA_VERSION,
+            queue: Some(QueueStats {
+                depth: 2,
+                in_flight: 1,
+                capacity: 32,
+                submitted: 40,
+                completed: 37,
+                rejected: 5,
+            }),
+            engine: Some(EngineStats { workers: 8 }),
+            cache: Some(CacheStats {
+                hits: 10,
+                misses: 6,
+            }),
+            store: Some(StoreReport {
+                directory: "/tmp/store".to_string(),
+                entries: 6,
+                feasible: 4,
+                infeasible: 2,
+                corrupt: 0,
+                total_bytes: 4096,
+                disk_hits: 3,
+                fresh_solves: 6,
+                stored: 6,
+                rejected: 0,
+            }),
+        };
+        let text = full.to_json();
+        assert!(text.ends_with('\n'));
+        assert_eq!(StatsSnapshot::from_json(&text).unwrap(), full);
+    }
+
+    #[test]
+    fn malformed_reply_frames_are_invalid_data() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"{not json").unwrap();
+        let mut cursor = Cursor::new(buffer);
+        let err = read_reply(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

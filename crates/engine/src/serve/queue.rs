@@ -1,0 +1,254 @@
+//! The bounded submission queue: admission control plus per-client
+//! fairness.
+//!
+//! The service's finite buffer, practicing what the solver preaches:
+//! capacity counts *queued plus in-flight* submissions, so a full system
+//! rejects at the door with a structured retry hint instead of queueing
+//! unboundedly or dropping work silently. Draining is round-robin over
+//! clients — a client that batch-submits ten suites cannot starve a
+//! client that submitted one.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use super::protocol::QueueStats;
+
+/// Outcome of a [`SubmissionQueue::push`] that was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The queue is at capacity (queued + in-flight); retry later.
+    Full,
+    /// The queue is closed for new work (graceful shutdown underway).
+    Closed,
+}
+
+struct QueueState<T> {
+    /// Per-client FIFO lanes in rotation order: `pop` takes the front
+    /// client's oldest item, then rotates that client to the back.
+    clients: VecDeque<(u64, VecDeque<T>)>,
+    queued: u64,
+    in_flight: u64,
+    closed: bool,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+}
+
+/// A bounded multi-producer queue with round-robin per-client draining.
+///
+/// Producers are session threads calling [`push`](Self::push) with their
+/// client id; the single consumer is the dispatcher calling
+/// [`pop`](Self::pop) (blocking) and [`complete`](Self::complete) when
+/// the engine finishes each submission. [`close`](Self::close) starts
+/// graceful shutdown: new pushes are refused, `pop` drains what remains
+/// and then returns `None`.
+pub struct SubmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: u64,
+}
+
+impl<T> SubmissionQueue<T> {
+    /// Creates a queue admitting at most `capacity` submissions at once
+    /// (queued + in-flight; clamped to at least 1).
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                clients: VecDeque::new(),
+                queued: 0,
+                in_flight: 0,
+                closed: false,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attempts to admit one submission from `client_id`.
+    ///
+    /// Refusals are never silent: the error says whether the queue was
+    /// [`Full`](Admission::Full) or [`Closed`](Admission::Closed), and
+    /// both bump the `rejected` counter.
+    pub fn push(&self, client_id: u64, item: T) -> Result<(), Admission> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            state.rejected += 1;
+            return Err(Admission::Closed);
+        }
+        if state.queued + state.in_flight >= self.capacity {
+            state.rejected += 1;
+            return Err(Admission::Full);
+        }
+        match state.clients.iter_mut().find(|(id, _)| *id == client_id) {
+            Some((_, lane)) => lane.push_back(item),
+            None => {
+                let mut lane = VecDeque::new();
+                lane.push_back(item);
+                state.clients.push_back((client_id, lane));
+            }
+        }
+        state.queued += 1;
+        state.submitted += 1;
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next submission in round-robin client order, blocking
+    /// while the queue is open but empty.
+    ///
+    /// Returns `None` once the queue is closed **and** drained. The
+    /// popped submission counts as in-flight until
+    /// [`complete`](Self::complete) is called.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some((client_id, mut lane)) = state.clients.pop_front() {
+                let item = lane.pop_front().expect("queued client lane is non-empty");
+                if !lane.is_empty() {
+                    state.clients.push_back((client_id, lane));
+                }
+                state.queued -= 1;
+                state.in_flight += 1;
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Records completion of one previously popped submission, freeing
+    /// its admission-control slot.
+    pub fn complete(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        debug_assert!(state.in_flight > 0, "complete() without a popped item");
+        state.in_flight = state.in_flight.saturating_sub(1);
+        state.completed += 1;
+        drop(state);
+        // A slot just freed up and pop() may be parked on an empty, soon
+        // to-be-closed queue.
+        self.ready.notify_all();
+    }
+
+    /// Closes the queue: future pushes fail with
+    /// [`Closed`](Admission::Closed); `pop` drains what is queued, then
+    /// returns `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// A consistent snapshot of the queue counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("queue mutex poisoned");
+        QueueStats {
+            depth: state.queued,
+            in_flight: state.in_flight,
+            capacity: self.capacity,
+            submitted: state.submitted,
+            completed: state.completed,
+            rejected: state.rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_round_robin_across_clients() {
+        let queue = SubmissionQueue::new(16);
+        // Client 1 batches three items before client 2 submits one; the
+        // drain must interleave, not serve client 1's backlog first.
+        queue.push(1, "a").unwrap();
+        queue.push(1, "b").unwrap();
+        queue.push(1, "c").unwrap();
+        queue.push(2, "d").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| {
+            let item = queue.pop();
+            if item.is_some() {
+                queue.complete();
+            }
+            item
+        })
+        .take(4)
+        .collect();
+        assert_eq!(order, vec!["a", "d", "b", "c"]);
+    }
+
+    #[test]
+    fn admission_counts_queued_plus_in_flight() {
+        let queue = SubmissionQueue::new(2);
+        queue.push(1, "a").unwrap();
+        queue.push(2, "b").unwrap();
+        assert_eq!(queue.push(3, "c"), Err(Admission::Full));
+        // Popping moves the slot to in-flight — still counted, still full.
+        assert_eq!(queue.pop(), Some("a"));
+        assert_eq!(queue.push(3, "c"), Err(Admission::Full));
+        // Completion frees the slot.
+        queue.complete();
+        queue.push(3, "c").unwrap();
+        let stats = queue.stats();
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_the_backlog() {
+        let queue = SubmissionQueue::new(8);
+        queue.push(1, 10).unwrap();
+        queue.push(1, 20).unwrap();
+        queue.close();
+        assert_eq!(queue.push(2, 30), Err(Admission::Closed));
+        assert_eq!(queue.pop(), Some(10));
+        queue.complete();
+        assert_eq!(queue.pop(), Some(20));
+        queue.complete();
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_or_close_arrives() {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let queue = Arc::new(SubmissionQueue::new(4));
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        queue.push(1, "late").unwrap();
+        assert_eq!(popper.join().unwrap(), Some("late"));
+        queue.complete();
+
+        let closer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        queue.close();
+        assert_eq!(closer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let queue = SubmissionQueue::new(0);
+        queue.push(1, "only").unwrap();
+        assert_eq!(queue.push(1, "extra"), Err(Admission::Full));
+        assert_eq!(queue.stats().capacity, 1);
+    }
+}

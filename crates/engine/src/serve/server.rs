@@ -1,0 +1,269 @@
+//! The daemon: accept loop, shared state, the single dispatcher feeding
+//! the engine, and graceful shutdown.
+//!
+//! Threading model: one accept thread, one dispatcher thread, one session
+//! thread per connection. All submissions — no matter how many clients —
+//! funnel through the bounded [`SubmissionQueue`] into **one**
+//! [`Engine`], sharing one [`SolveCache`] (optionally backed by one
+//! [`SolveStore`]). The dispatcher is deliberately serial: the engine's
+//! worker pool provides the parallelism *within* a submission, and serial
+//! dispatch keeps the fairness order the queue computed.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use super::protocol::{EngineStats, StatsSnapshot, StoreReport};
+use super::queue::SubmissionQueue;
+use super::session::handle_connection;
+use crate::cache::SolveCache;
+use crate::error::EngineError;
+use crate::executor::{RunSettings, SuiteOutcome};
+use crate::pool::Engine;
+use crate::scenario::Suite;
+use crate::store::SolveStore;
+
+/// Configuration of a [`Server`].
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads of the shared engine pool.
+    pub workers: usize,
+    /// Admission-control capacity of the submission queue
+    /// (queued + in-flight).
+    pub queue_capacity: u64,
+    /// Back-off hint attached to `"rejected"` replies, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Optional persistent store backing the shared cache.
+    pub store: Option<SolveStore>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 32,
+            retry_after_ms: 250,
+            store: None,
+        }
+    }
+}
+
+/// One admitted suite submission travelling from a session to the
+/// dispatcher; the result comes back over `reply`.
+pub(crate) struct Submission {
+    pub(crate) suite: Suite,
+    pub(crate) jobs: usize,
+    pub(crate) reply: mpsc::Sender<Result<SuiteOutcome, EngineError>>,
+}
+
+/// Everything the accept, dispatcher and session threads share.
+pub(crate) struct ServiceState {
+    pub(crate) engine: Engine,
+    pub(crate) cache: Arc<SolveCache>,
+    pub(crate) queue: SubmissionQueue<Submission>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) retry_after_ms: u64,
+    pub(crate) tickets: AtomicU64,
+    pub(crate) clients: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+impl ServiceState {
+    /// The machine-readable stats object: all four sections are present
+    /// on a server (the store section only when one is attached).
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queue: Some(self.queue.stats()),
+            engine: Some(EngineStats {
+                workers: self.engine.workers() as u64,
+            }),
+            cache: Some(self.cache.stats()),
+            store: self.cache.store().map(StoreReport::for_store),
+            ..StatsSnapshot::new()
+        }
+    }
+
+    /// Starts graceful shutdown: refuse new submissions, let the
+    /// dispatcher drain what was admitted, wake the accept loop.
+    ///
+    /// Idempotent — the shutdown request, `Server::shutdown` and repeated
+    /// calls all converge on the same quiescent state.
+    pub(crate) fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue.close();
+        // The accept thread blocks in `incoming()`; a throwaway local
+        // connection wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running solve service.
+///
+/// [`start`](Self::start) binds and spawns the threads;
+/// [`shutdown`](Self::shutdown) (or a client's `"shutdown"` request)
+/// begins the graceful drain; [`wait`](Self::wait) joins everything.
+pub struct Server {
+    local_addr: SocketAddr,
+    accept: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept and dispatcher threads.
+    pub fn start(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = match config.store {
+            Some(store) => Arc::new(SolveCache::with_store(store)),
+            None => Arc::new(SolveCache::new()),
+        };
+        let state = Arc::new(ServiceState {
+            engine: Engine::new(config.workers),
+            cache,
+            queue: SubmissionQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            retry_after_ms: config.retry_after_ms,
+            tickets: AtomicU64::new(0),
+            clients: AtomicU64::new(0),
+            local_addr,
+        });
+
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("bbs-serve-dispatch".to_string())
+                .spawn(move || {
+                    while let Some(submission) = state.queue.pop() {
+                        let settings = RunSettings::with_jobs(submission.jobs);
+                        let result =
+                            state
+                                .engine
+                                .submit(&submission.suite, &settings, &state.cache);
+                        // Count completion BEFORE handing the result back:
+                        // a client that has its report in hand must observe
+                        // `completed` already bumped when it asks for stats.
+                        state.queue.complete();
+                        // A receiver gone missing means the session died;
+                        // the work still completed and the counters say so.
+                        let _ = submission.reply.send(result);
+                    }
+                })?
+        };
+
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("bbs-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if state.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(stream) => stream,
+                            Err(_) => continue,
+                        };
+                        let session_state = Arc::clone(&state);
+                        let handle = std::thread::Builder::new()
+                            .name("bbs-serve-session".to_string())
+                            .spawn(move || handle_connection(stream, session_state));
+                        if let Ok(handle) = handle {
+                            sessions
+                                .lock()
+                                .expect("session registry poisoned")
+                                .push(handle);
+                        }
+                    }
+                })?
+        };
+
+        Ok(Self {
+            local_addr,
+            accept,
+            dispatcher,
+            sessions,
+            state,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The current stats snapshot, as the `"stats"` request reports it.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Begins graceful shutdown from the server side: admitted
+    /// submissions still complete, new ones are refused.
+    pub fn shutdown(&self) {
+        self.state.initiate_shutdown();
+    }
+
+    /// Joins the accept loop, the dispatcher and every session thread.
+    /// Call after [`shutdown`](Self::shutdown) (or after a client sent a
+    /// `"shutdown"` request) — on a live server this blocks until one of
+    /// those happens.
+    pub fn wait(self) {
+        // Accept first: once it exits, no new session threads appear and
+        // the registry below is complete.
+        let _ = self.accept.join();
+        let _ = self.dispatcher.join();
+        let handles =
+            std::mem::take(&mut *self.sessions.lock().expect("session registry poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::protocol::{read_reply, send_request, Request};
+    use std::net::TcpStream;
+
+    #[test]
+    fn starts_on_an_ephemeral_port_and_shuts_down_cleanly() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        let stats = server.stats();
+        assert_eq!(stats.queue.map(|q| q.capacity), Some(32));
+        assert_eq!(stats.engine.map(|e| e.workers), Some(4));
+        assert!(stats.store.is_none());
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn a_shutdown_request_from_a_client_stops_wait() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send_request(&mut stream, &Request::shutdown()).unwrap();
+        let bye = read_reply(&mut stream).unwrap().unwrap();
+        assert_eq!(bye.kind, "bye");
+        server.wait();
+        // After shutdown the port refuses (or resets) new submissions.
+        if let Ok(mut late) = TcpStream::connect(addr) {
+            let outcome = send_request(&mut late, &Request::run_builtin("smoke", 1))
+                .and_then(|_| read_reply(&mut late));
+            assert!(!matches!(outcome, Ok(Some(ref r)) if r.kind == "accepted"));
+        }
+    }
+}

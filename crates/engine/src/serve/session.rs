@@ -1,0 +1,179 @@
+//! One connection, one thread: reads request frames, dispatches them,
+//! streams replies.
+//!
+//! A session owns its socket for its whole lifetime. Requests on one
+//! connection are handled strictly in order; a `"run"` request blocks the
+//! session (not the server) until the dispatcher returns its outcome,
+//! then the per-point replies and the final report are streamed back in
+//! deterministic suite order. A short read timeout lets an *idle* session
+//! notice graceful shutdown without a dedicated control channel.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use super::protocol::{read_frame_interruptible, send_reply, Reply, Request};
+use super::queue::Admission;
+use super::server::{ServiceState, Submission};
+use crate::report::SuiteReport;
+use crate::scenario::Suite;
+use crate::suites::builtin_suite;
+
+/// How long an idle read waits before re-checking the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Ceiling on per-submission worker parallelism a client may request.
+const MAX_JOBS: u64 = 64;
+
+/// Runs one connection to completion. Never panics outward; any I/O
+/// failure simply ends the session (the dispatcher finishes admitted work
+/// regardless — a dead client cannot cancel a running solve).
+pub(crate) fn handle_connection(mut stream: TcpStream, state: Arc<ServiceState>) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let client_id = state.clients.fetch_add(1, Ordering::Relaxed) + 1;
+    // Clean EOF, shutdown while idle, or a broken peer all end the session.
+    while let Ok(Some(payload)) = read_frame_interruptible(&mut stream, &state.shutdown) {
+        let request: Request = match serde_json::from_slice(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let reply = Reply::error(&format!("malformed request: {e}"));
+                if send_reply(&mut stream, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request.kind.as_str() {
+            "run" => handle_run(&mut stream, &state, client_id, request),
+            "stats" => send_reply(&mut stream, &Reply::stats(state.snapshot())).is_ok(),
+            "shutdown" => {
+                let _ = send_reply(&mut stream, &Reply::bye());
+                state.initiate_shutdown();
+                false
+            }
+            other => {
+                let reply = Reply::error(&format!(
+                    "unknown request kind {other:?} (expected run, stats or shutdown)"
+                ));
+                send_reply(&mut stream, &reply).is_ok()
+            }
+        };
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+/// Handles one `"run"` request end to end; returns `false` when the
+/// session should end (write failure).
+fn handle_run(
+    stream: &mut TcpStream,
+    state: &ServiceState,
+    client_id: u64,
+    request: Request,
+) -> bool {
+    let suite = match resolve_suite(&request) {
+        Ok(suite) => suite,
+        Err(message) => return send_reply(stream, &Reply::error(&message)).is_ok(),
+    };
+    let jobs = request.jobs.unwrap_or(1).clamp(1, MAX_JOBS) as usize;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let submission = Submission {
+        suite,
+        jobs,
+        reply: reply_tx,
+    };
+    match state.queue.push(client_id, submission) {
+        Err(Admission::Full) => {
+            let reply = Reply::rejected("queue full", state.retry_after_ms);
+            return send_reply(stream, &reply).is_ok();
+        }
+        Err(Admission::Closed) => {
+            let reply = Reply::rejected("server is shutting down", state.retry_after_ms);
+            return send_reply(stream, &reply).is_ok();
+        }
+        Ok(()) => {}
+    }
+    let ticket = state.tickets.fetch_add(1, Ordering::Relaxed) + 1;
+    let depth = state.queue.stats().depth;
+    if send_reply(stream, &Reply::accepted(ticket, depth)).is_err() {
+        // Dropping the receiver is safe: the dispatcher still runs the
+        // solve and tolerates the missing session.
+        return false;
+    }
+    let outcome = match reply_rx.recv() {
+        Ok(Ok(outcome)) => outcome,
+        Ok(Err(e)) => {
+            let reply = Reply::error(&format!("suite failed: {e}"));
+            return send_reply(stream, &reply).is_ok();
+        }
+        Err(_) => {
+            let reply = Reply::error("server dropped the submission during shutdown");
+            return send_reply(stream, &reply).is_ok();
+        }
+    };
+    // Stream per-point results in deterministic suite order, then the
+    // byte-exact report — the same JSON `bbs run --json` would write.
+    for scenario in &outcome.scenarios {
+        for point in &scenario.points {
+            let reply = Reply::point(
+                &scenario.scenario.name,
+                point.capacity_cap,
+                point.result.is_ok(),
+            );
+            if send_reply(stream, &reply).is_err() {
+                return false;
+            }
+        }
+    }
+    let failures = outcome.unexpected_failures();
+    let message = if failures.is_empty() {
+        None
+    } else {
+        Some(format!("{} point(s) failed unexpectedly", failures.len()))
+    };
+    let report = SuiteReport::from_outcome(&outcome);
+    send_reply(stream, &Reply::report(report.to_json(), message)).is_ok()
+}
+
+/// Picks the suite a `"run"` request addresses: an inline definition XOR
+/// a built-in name, defaulting to the built-in `paper` suite.
+fn resolve_suite(request: &Request) -> Result<Suite, String> {
+    match (&request.suite, &request.suite_name) {
+        (Some(_), Some(_)) => Err("set either suite or suite_name, not both".to_string()),
+        (Some(suite), None) => Ok(suite.clone()),
+        (None, Some(name)) => {
+            builtin_suite(name).ok_or_else(|| format!("unknown built-in suite {name:?}"))
+        }
+        (None, None) => Ok(builtin_suite("paper").expect("paper suite is built in")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_suite_prefers_explicit_choices_and_defaults_to_paper() {
+        assert_eq!(resolve_suite(&Request::stats()).unwrap().name, "paper");
+        assert_eq!(
+            resolve_suite(&Request::run_builtin("smoke", 1))
+                .unwrap()
+                .name,
+            "smoke"
+        );
+        let inline = Suite::new("inline", Vec::new());
+        assert_eq!(
+            resolve_suite(&Request::run_suite(inline.clone(), 1))
+                .unwrap()
+                .name,
+            "inline"
+        );
+        assert!(resolve_suite(&Request::run_builtin("nope", 1)).is_err());
+        let mut both = Request::run_builtin("smoke", 1);
+        both.suite = Some(inline);
+        assert!(resolve_suite(&both).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Integration tests of the service layer: real sockets against a real
+//! [`Server`], plus the `bbs serve`/`bbs client` binary surface via
+//! `CARGO_BIN_EXE_bbs`.
+//!
+//! The load-bearing property throughout: a report obtained through the
+//! service is **byte-identical** to a local `bbs run` of the same suite —
+//! cold cache, warm shared cache, or many concurrent clients.
+
+use bbs_engine::serve::{
+    read_reply, send_request, Reply, Request, ServeConfig, Server, StatsSnapshot,
+};
+use bbs_engine::suites::smoke_suite;
+use bbs_engine::{run_suite, RunSettings, SolveStore, SuiteReport};
+use std::fs;
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Barrier};
+
+/// A unique, self-cleaning scratch directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "bbs-service-it-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&path);
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The reference report text: what a local one-shot run of `smoke` emits.
+fn local_smoke_report() -> String {
+    let outcome = run_suite(&smoke_suite(), &RunSettings::with_jobs(2)).unwrap();
+    SuiteReport::from_outcome(&outcome).to_json()
+}
+
+/// Submits one `"run"` over an open connection and collects the streamed
+/// replies up to the report. Panics on rejection — callers that expect
+/// back-pressure drive the protocol by hand.
+fn submit_and_collect(stream: &mut TcpStream, request: &Request) -> (u64, Reply) {
+    send_request(stream, request).unwrap();
+    let accepted = read_reply(stream).unwrap().unwrap();
+    assert_eq!(accepted.kind, "accepted", "unexpected reply: {accepted:?}");
+    let mut points = 0;
+    loop {
+        let reply = read_reply(stream).unwrap().unwrap();
+        match reply.kind.as_str() {
+            "point" => points += 1,
+            "report" => return (points, reply),
+            other => panic!("unexpected reply kind `{other}`"),
+        }
+    }
+}
+
+#[test]
+fn served_reports_are_byte_identical_to_local_runs_cold_and_warm() {
+    let reference = local_smoke_report();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // Cold shared cache.
+    let (points, report) = submit_and_collect(&mut stream, &Request::run_builtin("smoke", 2));
+    assert_eq!(points, 8, "smoke has 8 sweep points");
+    assert_eq!(report.message, None);
+    assert_eq!(report.report.as_deref(), Some(reference.as_str()));
+
+    // Warm shared cache — every solve now comes from memory, yet the
+    // report (including its hit/miss counters) must not change.
+    let (_, warm) = submit_and_collect(&mut stream, &Request::run_builtin("smoke", 2));
+    assert_eq!(warm.report.as_deref(), Some(reference.as_str()));
+
+    // And independent of the per-submission jobs cap.
+    let (_, one_job) = submit_and_collect(&mut stream, &Request::run_builtin("smoke", 1));
+    assert_eq!(one_job.report.as_deref(), Some(reference.as_str()));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn four_concurrent_clients_get_identical_reports() {
+    let reference = Arc::new(local_smoke_report());
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let reference = Arc::clone(&reference);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                barrier.wait();
+                for _ in 0..3 {
+                    let (points, report) =
+                        submit_and_collect(&mut stream, &Request::run_builtin("smoke", 2));
+                    assert_eq!(points, 8);
+                    assert_eq!(report.report.as_deref(), Some(reference.as_str()));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = server.stats();
+    let queue = stats.queue.unwrap();
+    assert_eq!(queue.submitted, 12);
+    assert_eq!(queue.completed, 12);
+    assert_eq!(queue.depth, 0);
+    assert_eq!(queue.in_flight, 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn a_full_queue_rejects_with_retry_and_the_retry_succeeds() {
+    let reference = Arc::new(local_smoke_report());
+    // Capacity 1: while any submission is queued or in flight, every other
+    // client is refused at the door with a structured retry hint.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 1,
+        retry_after_ms: 5,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let clients = 3;
+    let submissions_each = 4u64;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let reference = Arc::clone(&reference);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                barrier.wait();
+                let mut rejections = 0u64;
+                for _ in 0..submissions_each {
+                    'submit: loop {
+                        send_request(&mut stream, &Request::run_builtin("smoke", 1)).unwrap();
+                        loop {
+                            let reply = read_reply(&mut stream).unwrap().unwrap();
+                            match reply.kind.as_str() {
+                                "accepted" | "point" => {}
+                                "report" => {
+                                    assert_eq!(
+                                        reply.report.as_deref(),
+                                        Some(reference.as_str()),
+                                        "a report after back-pressure must still be byte-exact"
+                                    );
+                                    break 'submit;
+                                }
+                                "rejected" => {
+                                    // The structured refusal: reason + hint.
+                                    assert_eq!(reply.message.as_deref(), Some("queue full"));
+                                    let wait = reply.retry_after_ms.expect("retry hint");
+                                    assert_eq!(wait, 5);
+                                    rejections += 1;
+                                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                                    continue 'submit;
+                                }
+                                other => panic!("unexpected reply kind `{other}`"),
+                            }
+                        }
+                    }
+                }
+                rejections
+            })
+        })
+        .collect();
+    let rejections: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let stats = server.stats();
+    let queue = stats.queue.unwrap();
+    // Every submission eventually completed; none were dropped silently.
+    assert_eq!(queue.completed, clients as u64 * submissions_each);
+    assert_eq!(queue.rejected, rejections);
+    // Three clients racing a capacity-1 queue from a barrier must collide:
+    // at most one of the first simultaneous volley can be admitted.
+    assert!(rejections >= 1, "expected at least one rejection");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn stats_exposes_queue_engine_cache_and_store_sections() {
+    let directory = TempDir::new("stats");
+    let server = Server::start(ServeConfig {
+        workers: 3,
+        store: Some(SolveStore::open(directory.path()).unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    submit_and_collect(&mut stream, &Request::run_builtin("smoke", 2));
+
+    send_request(&mut stream, &Request::stats()).unwrap();
+    let reply = read_reply(&mut stream).unwrap().unwrap();
+    assert_eq!(reply.kind, "stats");
+    let snapshot = reply.stats.unwrap();
+    // The snapshot round-trips through its canonical JSON form — the same
+    // text `bbs cache stats --json` prints.
+    assert_eq!(
+        StatsSnapshot::from_json(&snapshot.to_json()).unwrap(),
+        snapshot
+    );
+    let queue = snapshot.queue.unwrap();
+    assert_eq!(queue.submitted, 1);
+    assert_eq!(queue.completed, 1);
+    assert_eq!(snapshot.engine.unwrap().workers, 3);
+    let cache = snapshot.cache.unwrap();
+    assert_eq!(cache.misses, 8, "8 distinct smoke keys missed the cache");
+    let store = snapshot.store.unwrap();
+    assert_eq!(store.entries, 8);
+    assert_eq!(store.stored, 8);
+    assert_eq!(store.fresh_solves, 8);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work_and_refuses_new() {
+    let reference = local_smoke_report();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Admit a submission, then shut down before collecting its replies.
+    let mut worker = TcpStream::connect(addr).unwrap();
+    send_request(&mut worker, &Request::run_builtin("smoke", 2)).unwrap();
+    let accepted = read_reply(&mut worker).unwrap().unwrap();
+    assert_eq!(accepted.kind, "accepted");
+
+    let mut controller = TcpStream::connect(addr).unwrap();
+    send_request(&mut controller, &Request::shutdown()).unwrap();
+    assert_eq!(read_reply(&mut controller).unwrap().unwrap().kind, "bye");
+
+    // The admitted submission still completes in full.
+    let mut points = 0;
+    loop {
+        let reply = read_reply(&mut worker).unwrap().unwrap();
+        match reply.kind.as_str() {
+            "point" => points += 1,
+            "report" => {
+                assert_eq!(reply.report.as_deref(), Some(reference.as_str()));
+                break;
+            }
+            other => panic!("unexpected reply kind `{other}`"),
+        }
+    }
+    assert_eq!(points, 8);
+    // And the whole server winds down without hanging.
+    server.wait();
+}
+
+#[test]
+fn closed_queue_rejects_new_submissions_during_drain() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    // Open the connection while the server still accepts, but submit only
+    // after shutdown: the session is alive, the queue is closed.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    send_request(&mut stream, &Request::stats()).unwrap();
+    assert_eq!(read_reply(&mut stream).unwrap().unwrap().kind, "stats");
+    server.shutdown();
+    send_request(&mut stream, &Request::run_builtin("smoke", 1)).unwrap();
+    // The session may already have exited between the flag flip and our
+    // frame landing; a dropped connection is an acceptable (and loud)
+    // refusal too — just never a silent hang or a success.
+    if let Ok(Some(reply)) = read_reply(&mut stream) {
+        assert_eq!(reply.kind, "rejected", "unexpected reply: {reply:?}");
+        assert_eq!(reply.message.as_deref(), Some("server is shutting down"));
+        assert!(reply.retry_after_ms.is_some());
+    }
+    server.wait();
+}
+
+/// Runs the real `bbs` binary, asserting success, returning stdout.
+fn bbs(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args(args)
+        .output()
+        .expect("bbs binary runs");
+    assert!(
+        output.status.success(),
+        "bbs {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("bbs prints UTF-8")
+}
+
+#[test]
+fn cli_serve_and_client_round_trip_byte_identical_reports() {
+    let directory = TempDir::new("cli");
+    fs::create_dir_all(directory.path()).unwrap();
+    let baseline = directory.path().join("baseline.json");
+    let served = directory.path().join("served.json");
+    let served_warm = directory.path().join("served-warm.json");
+
+    bbs(&[
+        "run",
+        "--suite",
+        "smoke",
+        "--quiet",
+        "--json",
+        baseline.to_str().unwrap(),
+    ]);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_bbs"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("bbs serve starts");
+    let mut daemon_stdout = BufReader::new(daemon.stdout.take().unwrap());
+    let mut announcement = String::new();
+    daemon_stdout.read_line(&mut announcement).unwrap();
+    let addr = announcement
+        .trim()
+        .strip_prefix("bbs serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {announcement:?}"))
+        .to_string();
+
+    bbs(&[
+        "client",
+        "run",
+        "--addr",
+        &addr,
+        "--suite",
+        "smoke",
+        "--quiet",
+        "--json",
+        served.to_str().unwrap(),
+    ]);
+    bbs(&[
+        "client",
+        "run",
+        "--addr",
+        &addr,
+        "--suite",
+        "smoke",
+        "--quiet",
+        "--json",
+        served_warm.to_str().unwrap(),
+    ]);
+    let stats = bbs(&["client", "stats", "--addr", &addr]);
+    let snapshot = StatsSnapshot::from_json(&stats).unwrap();
+    assert_eq!(snapshot.queue.unwrap().completed, 2);
+
+    let shutdown = bbs(&["client", "shutdown", "--addr", &addr]);
+    assert!(shutdown.contains("server acknowledged shutdown"));
+    let status = daemon.wait().expect("bbs serve exits");
+    assert!(status.success(), "bbs serve must exit 0 after shutdown");
+    let mut rest = String::new();
+    daemon_stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("shut down cleanly"), "stdout tail: {rest:?}");
+
+    let baseline_text = fs::read_to_string(&baseline).unwrap();
+    assert_eq!(baseline_text, fs::read_to_string(&served).unwrap());
+    assert_eq!(baseline_text, fs::read_to_string(&served_warm).unwrap());
+}

@@ -284,3 +284,101 @@ fn cli_round_trip_run_stats_gc_clear() {
     let stats = bbs(&["cache", "stats", "--cache-dir", dir], &[]);
     assert!(stats.contains("0 entries"), "stdout: {stats}");
 }
+
+#[test]
+fn two_processes_racing_on_one_cache_dir_leave_a_consistent_store() {
+    let directory = TempDir::new("race");
+    let cache_dir = directory.path().join("cache");
+    let cache_dir = cache_dir.to_str().unwrap();
+
+    // Two real `bbs` processes start simultaneously on one cold store and
+    // race every write. The store's claim/atomic-rename discipline must
+    // keep the result indistinguishable from a serial fill.
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_bbs"))
+            .args([
+                "run",
+                "--suite",
+                "smoke",
+                "--cache-dir",
+                cache_dir,
+                "--quiet",
+            ])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("bbs spawns")
+    };
+    let mut first = spawn();
+    let mut second = spawn();
+    assert!(first.wait().expect("first racer exits").success());
+    assert!(second.wait().expect("second racer exits").success());
+
+    let stats = bbs(&["cache", "stats", "--cache-dir", cache_dir], &[]);
+    assert!(
+        stats.contains("8 entries (8 feasible, 0 infeasible)"),
+        "stdout: {stats}"
+    );
+    // A third, warm process finds every solve on disk — the racers lost
+    // no entries and corrupted none.
+    let warm = bbs(
+        &[
+            "run",
+            "--suite",
+            "smoke",
+            "--cache-dir",
+            cache_dir,
+            "--json",
+            "-",
+            "--quiet",
+        ],
+        &[],
+    );
+    let timing = bbs(&["run", "--suite", "smoke", "--cache-dir", cache_dir], &[]);
+    assert!(
+        timing.contains("/ 0 fresh solves /"),
+        "warm run should solve nothing, stdout: {timing}"
+    );
+    // And its report matches a store-free run byte for byte.
+    let reference = bbs(&["run", "--suite", "smoke", "--json", "-", "--quiet"], &[]);
+    assert_eq!(warm, reference);
+}
+
+#[test]
+fn cache_stats_json_emits_the_shared_stats_snapshot() {
+    use bbs_engine::StatsSnapshot;
+
+    let directory = TempDir::new("stats-json");
+    let cache_dir = directory.path().join("cache");
+    let cache_dir = cache_dir.to_str().unwrap();
+    bbs(
+        &[
+            "run",
+            "--suite",
+            "smoke",
+            "--cache-dir",
+            cache_dir,
+            "--quiet",
+        ],
+        &[],
+    );
+
+    let text = bbs(&["cache", "stats", "--json", "--cache-dir", cache_dir], &[]);
+    // The output is the serve protocol's stats object — same serializer,
+    // same schema — restricted to the store section an offline CLI has.
+    let snapshot = StatsSnapshot::from_json(&text).expect("stats --json parses");
+    assert_eq!(snapshot.schema, 1);
+    assert!(snapshot.queue.is_none());
+    assert!(snapshot.engine.is_none());
+    assert!(snapshot.cache.is_none());
+    let store = snapshot.store.expect("store section present");
+    assert_eq!(store.entries, 8);
+    assert_eq!(store.feasible, 8);
+    assert_eq!(store.infeasible, 0);
+    assert_eq!(store.corrupt, 0);
+    assert!(store.total_bytes > 0);
+    assert!(store.directory.ends_with("cache"));
+    // This invocation only scanned; it moved no traffic.
+    assert_eq!(store.disk_hits, 0);
+    assert_eq!(store.fresh_solves, 0);
+    assert_eq!(store.stored, 0);
+}

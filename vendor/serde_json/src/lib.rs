@@ -69,6 +69,20 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value to compact JSON as UTF-8 bytes — the natural form
+/// for wire protocols that frame raw byte payloads.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON held in a UTF-8 byte slice (e.g. a network
+/// frame). Invalid UTF-8 is a parse error, exactly like malformed JSON.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error::new(format!("payload is not UTF-8: {e}")))?;
+    from_str(text)
+}
+
 /// Parses a value from JSON text.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser {
@@ -476,6 +490,34 @@ mod tests {
         assert_eq!(streamed, tree_text);
         // And the text round-trips.
         assert_eq!(from_str::<Value>(&tree_text).unwrap(), value);
+    }
+
+    #[test]
+    fn byte_slice_round_trip_matches_the_string_route() {
+        let value = Value::Object(vec![
+            ("kind".to_string(), Value::Str("run".to_string())),
+            ("jobs".to_string(), Value::UInt(8)),
+            ("suite".to_string(), Value::Null),
+            (
+                "names".to_string(),
+                Value::Array(vec![
+                    Value::Str("paper".to_string()),
+                    Value::Str("smoke \"quoted\"".to_string()),
+                ]),
+            ),
+        ]);
+        let bytes = to_vec(&value).unwrap();
+        assert_eq!(bytes, to_string(&value).unwrap().into_bytes());
+        let back: Value = from_slice(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn from_slice_rejects_invalid_utf8_and_malformed_json() {
+        let invalid = from_slice::<Value>(&[0x22, 0xff, 0x22]);
+        assert!(invalid.unwrap_err().to_string().contains("not UTF-8"));
+        assert!(from_slice::<Value>(b"{not json").is_err());
+        assert!(from_slice::<Value>(b"").is_err());
     }
 
     #[test]
