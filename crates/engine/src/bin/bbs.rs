@@ -4,9 +4,12 @@
 //! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
 //!         [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
 //!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+//! bbs validate [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
+//!         [--no-steal] [--json PATH] [--quiet]
+//! bbs gen [--seed N] [--points M] [--out PATH]
 //! bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
 //! bbs list
-//! bbs check REPORT.json
+//! bbs check [REPORT.json | SUITE.json | -]
 //! bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
 //!           [--cache-dir DIR]
 //! bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
@@ -31,6 +34,14 @@
 //! when anything failed, including scenarios with unexpectedly infeasible
 //! points.
 //!
+//! `validate` solves a suite with post-solve replay validation forced on
+//! every scenario and prints the deterministic validation summary (replayed
+//! points, violations) on stdout — timings go to stderr, so the summary is
+//! byte-identical across `--jobs` counts, schedulers and executors, and a
+//! nonzero exit means a measured violation. `gen` emits a schema-valid
+//! random suite from a seed (`bbs gen --seed 7 | bbs check` round-trips),
+//! for fuzz-scale validation campaigns.
+//!
 //! `serve` hosts the engine as a long-lived daemon: many concurrent
 //! clients share one worker pool and one cache/store through a bounded,
 //! fairness-scheduled submission queue (see `bbs_engine::serve`).
@@ -44,10 +55,11 @@ use bbs_engine::report::render_timing_summary;
 use bbs_engine::serve::{read_reply, send_request, Reply, Request, StoreReport};
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
-    expand_suite, run_suite_with_cache, Engine, GcPolicy, PanicInjection, RunSettings, ServeConfig,
-    Server, SolveCache, SolveStore, StatsSnapshot, Suite, SuiteReport,
+    expand_suite, generate_suite, run_suite_with_cache, Engine, GcPolicy, GenParams,
+    PanicInjection, RunSettings, ServeConfig, Server, SolveCache, SolveStore, StatsSnapshot, Suite,
+    SuiteReport, ValidationReport,
 };
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,9 +71,12 @@ usage:
   bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
           [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
           [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
+  bbs validate [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
+          [--no-steal] [--json PATH] [--quiet]
+  bbs gen [--seed N] [--points M] [--out PATH]
   bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
   bbs list
-  bbs check REPORT.json
+  bbs check [REPORT.json | SUITE.json | -]
   bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
             [--cache-dir DIR]
   bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
@@ -80,12 +95,20 @@ write path with the same eviction `cache gc --max-entries` applies.
 work-stealing per-worker deques; `--fresh-executor` spawns per-run worker
 threads instead of the reusable pool (reports are identical either way).
 `serve` hosts the engine for many concurrent clients; `client run` fetches
-a report byte-identical to a local `bbs run` of the same suite.";
+a report byte-identical to a local `bbs run` of the same suite.
+`validate` replays every solved mapping on the scheduler simulator and
+exits nonzero on measured throughput or capacity violations; its stdout
+summary is byte-identical across --jobs counts and executors. `gen` emits
+a seed-deterministic random suite (`-` or --out for the destination);
+`check` accepts suite files and validation reports too, and `-` reads
+stdin, so `bbs gen --seed 7 | bbs check` verifies a generated suite.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("expand") => expand(&args[1..]),
         Some("list") => list(),
         Some("check") => check(&args[1..]),
@@ -367,6 +390,105 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `bbs validate`: solve a suite with replay validation forced on every
+/// scenario and print the deterministic summary. Replays run on the same
+/// pooled (or `--fresh-executor` scoped) workers as the solves; the stdout
+/// summary carries no wall-clock data, so CI can `cmp` it across `--jobs`
+/// counts, schedulers and executors. Exit is nonzero on any measured
+/// violation or unexpected solve failure.
+fn validate(args: &[String]) -> Result<(), String> {
+    let args = parse_run_args(args)?;
+    let suite = load_suite(&args)?;
+    let settings = RunSettings {
+        jobs: args.jobs,
+        use_cache: args.use_cache,
+        steal: args.steal,
+        validate_all: true,
+        inject_panic: injected_panic_from_env()?,
+        ..RunSettings::default()
+    };
+    let cache = match effective_cache_dir(args.cache_dir.as_deref()) {
+        Some(dir) if args.use_cache => {
+            let mut store = open_store(&dir)?;
+            if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
+                store = store.with_max_entries(cap);
+            }
+            SolveCache::with_store(store)
+        }
+        _ => SolveCache::new(),
+    };
+    let outcome = if args.pooled {
+        let cache = Arc::new(cache);
+        Engine::new(settings.jobs)
+            .run_suite_with_cache(&suite, &settings, &cache)
+            .map_err(|e| e.to_string())?
+    } else {
+        run_suite_with_cache(&suite, &settings, &cache).map_err(|e| e.to_string())?
+    };
+    let report = ValidationReport::from_outcome(&outcome);
+    if let Some(path) = &args.json {
+        write_output(path, &report.to_json(), "JSON validation report")?;
+    }
+    // Summary on stdout (deterministic), timings on stderr (not): piping
+    // stdout through `cmp` is the CI determinism gate.
+    print!("{}", report.render_summary());
+    if !args.quiet {
+        eprint!("{}", render_timing_summary(&outcome));
+    }
+    let failures = outcome.unexpected_failures();
+    if !failures.is_empty() {
+        let mut message = String::from("unexpected failures:");
+        for (scenario, cap, error) in failures {
+            let cap = cap.map(|c| format!(" cap {c}")).unwrap_or_default();
+            message.push_str(&format!("\n  {scenario}{cap}: {error}"));
+        }
+        return Err(message);
+    }
+    match report.violations() {
+        0 => Ok(()),
+        n => Err(format!("{n} validation violation(s)")),
+    }
+}
+
+/// `bbs gen`: emit a schema-valid random suite from a seed. Byte-identical
+/// for equal seeds, so generated campaigns are reproducible; `--out -`
+/// (the default) writes to stdout for piping into `bbs check` or a file.
+fn gen(args: &[String]) -> Result<(), String> {
+    let mut params = GenParams::default();
+    let mut out = "-".to_string();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let raw = value("--seed")?;
+                params.seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed must be an unsigned integer, got `{raw}`"))?;
+            }
+            "--points" => {
+                let raw = value("--points")?;
+                params.points = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=100_000).contains(&n))
+                    .ok_or_else(|| format!("--points must be 1..=100000, got `{raw}`"))?;
+            }
+            "--out" => out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}` for `gen`\n{USAGE}")),
+        }
+    }
+    let suite = generate_suite(&params);
+    let mut json =
+        serde_json::to_string_pretty(&suite).map_err(|e| format!("cannot serialise suite: {e}"))?;
+    json.push('\n');
+    write_output(&out, &json, "suite file")
+}
+
 /// `bbs expand`: run only the resolve-and-expand pipeline stage — on the
 /// pooled workers by default, exactly as `run` would — and report the
 /// counts without solving anything. A dry run for suite files and a smoke
@@ -421,20 +543,75 @@ fn list() -> Result<(), String> {
     Ok(())
 }
 
+/// `bbs check`: parse and schema-validate a suite-report, validation-report
+/// or suite file. `-` (or no argument) reads stdin, so generated suites
+/// round-trip: `bbs gen --seed 7 | bbs check`.
 fn check(args: &[String]) -> Result<(), String> {
-    let [path] = args else {
-        return Err(format!("`check` needs exactly one report path\n{USAGE}"));
+    let path = match args {
+        [] => "-",
+        [path] => path.as_str(),
+        _ => return Err(format!("`check` needs at most one path\n{USAGE}")),
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = SuiteReport::from_json(&text).map_err(|e| e.to_string())?;
-    let points: usize = report.scenarios.iter().map(|s| s.points.len()).sum();
-    println!(
-        "{path}: valid schema v{} report of suite `{}` ({} scenarios, {points} points)",
-        report.schema_version,
-        report.suite,
-        report.scenarios.len()
-    );
-    Ok(())
+    let text = if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let shown = if path == "-" { "stdin" } else { path };
+
+    let report_error = match SuiteReport::from_json(&text) {
+        Ok(report) => {
+            let points: usize = report.scenarios.iter().map(|s| s.points.len()).sum();
+            println!(
+                "{shown}: valid schema v{} report of suite `{}` ({} scenarios, {points} points)",
+                report.schema_version,
+                report.suite,
+                report.scenarios.len()
+            );
+            return Ok(());
+        }
+        Err(e) => e,
+    };
+    if let Ok(report) = ValidationReport::from_json(&text) {
+        let points: usize = report.scenarios.iter().map(|s| s.points.len()).sum();
+        println!(
+            "{shown}: valid schema v{} validation report of suite `{}` ({} scenarios, \
+             {points} points, {} violation(s))",
+            report.schema_version,
+            report.suite,
+            report.scenarios.len(),
+            report.violations()
+        );
+        return Ok(());
+    }
+    match serde_json::from_str::<Suite>(&text) {
+        Ok(suite) => {
+            suite.validate().map_err(|e| e.to_string())?;
+            let points: usize = suite
+                .scenarios
+                .iter()
+                .map(|s| {
+                    s.sweep
+                        .as_ref()
+                        .and_then(|sweep| sweep.caps().ok())
+                        .map_or(1, |caps| caps.len())
+                })
+                .sum();
+            println!(
+                "{shown}: valid suite `{}` ({} scenarios, {points} solve points)",
+                suite.name,
+                suite.scenarios.len()
+            );
+            Ok(())
+        }
+        Err(_) => Err(format!(
+            "{shown} is neither a report, a validation report nor a suite: {report_error}"
+        )),
+    }
 }
 
 struct CacheArgs {

@@ -37,7 +37,7 @@ use crate::cache::{
 use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
 use crate::store::StoreStats;
-use bbs_scheduler_sim::{simulate_mapping, SimulationSettings};
+use crate::validate::{validate_outcome, PointValidation};
 use bbs_taskgraph::{ConfigView, Configuration};
 use budget_buffer::{
     compute_mapping_two_phase, compute_mapping_view, BudgetPolicy, Mapping, MappingError,
@@ -57,8 +57,12 @@ pub struct RunSettings {
     pub jobs: usize,
     /// Memoize solves in a run-wide [`SolveCache`].
     pub use_cache: bool,
-    /// Firings per task when a scenario requests simulator validation.
+    /// Firings per task when a point is replayed by the validation stage.
     pub simulation_iterations: usize,
+    /// Replay every scenario's feasible points in the validation stage,
+    /// whether or not the scenario requests it (`bbs validate`); `false`
+    /// (the default) validates only scenarios flagged `validate: "sim"`.
+    pub validate_all: bool,
     /// Schedule work over sharded per-worker deques with work stealing
     /// (the default). `false` falls back to the single shared-queue
     /// scheduler — kept as the contention baseline for benchmarks and for
@@ -90,6 +94,7 @@ impl Default for RunSettings {
             jobs: 1,
             use_cache: true,
             simulation_iterations: 256,
+            validate_all: false,
             steal: true,
             inject_panic: None,
         }
@@ -106,21 +111,7 @@ impl RunSettings {
     }
 }
 
-/// The simulator validation attached to one point.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SimulationCheck {
-    /// Worst measured steady-state period across all task graphs.
-    pub measured_period: f64,
-    /// Largest period requirement of the configuration.
-    pub required_period: f64,
-    /// Transient slack granted on top of the requirement (one replenishment
-    /// interval amortised over the measured iterations).
-    pub tolerance: f64,
-    /// `measured_period <= required_period + tolerance`.
-    pub guarantee_ok: bool,
-}
-
-/// The outcome of one work item: one solve (plus optional simulation).
+/// The outcome of one work item: one solve (plus optional validation).
 #[derive(Debug, Clone)]
 pub struct PointOutcome {
     /// The capacity cap of the sweep point (`None` for single solves).
@@ -134,9 +125,10 @@ pub struct PointOutcome {
     pub solve_time: Duration,
     /// Which tier — in-memory, disk, or neither — served the result.
     pub source: SolveSource,
-    /// Simulator validation, when the scenario requested it and the solve
-    /// succeeded.
-    pub simulation: Option<SimulationCheck>,
+    /// The validation stage's verdict, when this point was replayed (the
+    /// scenario requested `validate: "sim"`, or the run forced
+    /// [`RunSettings::validate_all`], and the solve was feasible).
+    pub validation: Option<PointValidation>,
 }
 
 /// The outcome of one scenario: its resolved inputs plus one
@@ -268,7 +260,6 @@ pub(crate) struct WorkItem {
     options: SolveOptions,
     seed: Arc<ScenarioKeySeed>,
     flow: Flow,
-    simulate: bool,
     key: CacheKey,
 }
 
@@ -322,7 +313,7 @@ fn execute_guarded(
                 result: Err(panicked_solve_error()),
                 solve_time: Duration::ZERO,
                 source: SolveSource::Fresh,
-                simulation: None,
+                validation: None,
             }
         }
     }
@@ -362,7 +353,7 @@ pub fn run_suite_with_cache(
     let counters = PoolCounters::default();
     let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
 
-    std::thread::scope(|scope| {
+    let mut outcome = std::thread::scope(|scope| {
         for worker in 0..jobs {
             let shards = &shards;
             let counters = &counters;
@@ -381,7 +372,7 @@ pub fn run_suite_with_cache(
             });
         }
         drop(sender);
-        Ok(assemble_outcome(
+        assemble_outcome(
             suite,
             prepared.resolved,
             receiver,
@@ -390,8 +381,13 @@ pub fn run_suite_with_cache(
             &counters,
             jobs,
             start,
-        ))
-    })
+        )
+    });
+    // The validation stage replays solved mappings after assembly, on its
+    // own scoped threads; the wall clock covers it, the report never does.
+    validate_outcome(&mut outcome, settings);
+    outcome.wall_time = start.elapsed();
+    Ok(outcome)
 }
 
 /// The per-scenario resolution of one suite: the built workload (shared
@@ -420,7 +416,6 @@ pub(crate) struct ScenarioPlan {
     options: SolveOptions,
     seed: Arc<ScenarioKeySeed>,
     flow: Flow,
-    simulate: bool,
     caps: Vec<Option<u64>>,
 }
 
@@ -443,7 +438,6 @@ impl ScenarioPlan {
             options: self.options.clone(),
             seed: Arc::clone(&self.seed),
             flow: self.flow,
-            simulate: self.simulate,
             key,
         }
     }
@@ -587,6 +581,12 @@ pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, Eng
         let flow = scenario
             .resolved_flow()
             .map_err(|e| in_scenario(&scenario.name, e))?;
+        // The validation stage reads the mode back from the outcome's
+        // scenario; rejecting unknown modes here keeps that read
+        // infallible.
+        scenario
+            .resolved_validation()
+            .map_err(|e| in_scenario(&scenario.name, e))?;
         let options = scenario.resolved_options();
         // The key-derivation constants of the scenario — options and flow —
         // are folded into the digest state exactly once here (or reused
@@ -633,7 +633,6 @@ pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, Eng
             options,
             seed,
             flow,
-            simulate: scenario.simulate.unwrap_or(false),
             caps,
         });
     }
@@ -927,24 +926,15 @@ fn execute_item(
         (solve(), SolveSource::Fresh)
     };
     let solve_time = solve_duration.get();
-    let simulation = match (&result, item.simulate) {
-        // The simulator replays the *mapping's* budgets and capacities;
-        // buffer capacity caps are solver constraints it never reads, so
-        // the shared base stands in for the capped configuration without
-        // materialising it.
-        (Ok(mapping), true) => Some(simulate_point(
-            item.view.base(),
-            mapping,
-            settings.simulation_iterations,
-        )),
-        _ => None,
-    };
     PointOutcome {
         capacity_cap: item.capacity_cap,
         result,
         solve_time,
         source,
-        simulation,
+        // Replays happen in the post-solve validation stage, never here:
+        // the solve path stays cache-shaped (one mapping per distinct key)
+        // and validation stays a pure function of the assembled outcome.
+        validation: None,
     }
 }
 
@@ -968,48 +958,6 @@ fn solve_flow(
             compute_mapping_two_phase(view.config(), BudgetPolicy::FairShare, options)
                 .map(|outcome| outcome.mapping)
         }
-    }
-}
-
-fn simulate_point(
-    configuration: &Configuration,
-    mapping: &Mapping,
-    iterations: usize,
-) -> SimulationCheck {
-    let budgets = mapping.budgets().collect();
-    let capacities = mapping.capacities().collect();
-    let settings = SimulationSettings {
-        iterations,
-        ..SimulationSettings::default()
-    };
-    let required_period = configuration
-        .task_graphs()
-        .map(|(_, graph)| graph.period())
-        .fold(0.0f64, f64::max);
-    // The measured period averages the second half of the run, so the
-    // start-up transient of at most one replenishment interval is amortised
-    // over `iterations / 2 - 1` steady-state firings.
-    let max_replenishment = configuration
-        .processors()
-        .map(|(_, p)| p.replenishment_interval())
-        .fold(0.0f64, f64::max);
-    let tolerance = max_replenishment / ((iterations / 2).saturating_sub(1).max(1)) as f64;
-    match simulate_mapping(configuration, &budgets, &capacities, &settings) {
-        Ok(result) => {
-            let measured_period = result.worst_period();
-            SimulationCheck {
-                measured_period,
-                required_period,
-                tolerance,
-                guarantee_ok: measured_period <= required_period + tolerance,
-            }
-        }
-        Err(_) => SimulationCheck {
-            measured_period: f64::INFINITY,
-            required_period,
-            tolerance,
-            guarantee_ok: false,
-        },
     }
 }
 
@@ -1184,14 +1132,14 @@ mod tests {
                         }),
                         solve_time: Duration::ZERO,
                         source: SolveSource::Fresh,
-                        simulation: None,
+                        validation: None,
                     },
                     PointOutcome {
                         capacity_cap: Some(2),
                         result: Err(MappingError::Solver(ConicError::NonFiniteData)),
                         solve_time: Duration::ZERO,
                         source: SolveSource::Fresh,
-                        simulation: None,
+                        validation: None,
                     },
                 ],
             }],
@@ -1408,7 +1356,7 @@ mod tests {
     }
 
     #[test]
-    fn simulation_checks_the_guarantee() {
+    fn legacy_simulate_flag_still_checks_the_guarantee() {
         let scenario = Scenario::new(
             "sim",
             WorkloadSpec::preset(PresetSpec::named("producer-consumer")),
@@ -1416,8 +1364,8 @@ mod tests {
         .with_sweep(SweepSpec::list([4u64]))
         .with_simulation();
         let outcome = run_scenario(&scenario, &RunSettings::default()).unwrap();
-        let check = outcome.points[0].simulation.as_ref().unwrap();
-        assert!(check.guarantee_ok, "paper setup must meet its guarantee");
+        let check = outcome.points[0].validation.as_ref().unwrap();
+        assert!(check.is_sound(), "paper setup must meet its guarantee");
         assert_eq!(check.required_period, 10.0);
         assert!(check.measured_period.is_finite());
     }

@@ -24,6 +24,13 @@
 //! * [`store`] — the persistent tier below the in-memory cache: a
 //!   content-addressed, schema-versioned on-disk store of solve results, so
 //!   repeated *processes* (CLI re-runs, CI, sweeps) skip solves too.
+//! * [`validate`] — the post-solve validation stage: replay every solved
+//!   mapping on the `bbs-scheduler-sim` discrete-event simulator and grade
+//!   measured periods and buffer high-water marks against the solver's
+//!   guarantees, on scoped threads or the parked [`Engine`] workers.
+//! * [`gen`] — the seeded scenario generator behind `bbs gen`: schema-valid
+//!   random suites (graph shape, platform timings, sweep ranges) for
+//!   fuzz-scale validation.
 //! * [`report`] — the machine-readable [`SuiteReport`] (schema-versioned
 //!   JSON, CSV, markdown) and the human renderers. Reports carry no
 //!   wall-clock data and are byte-identical across worker counts.
@@ -72,12 +79,14 @@
 pub mod cache;
 mod error;
 pub mod executor;
+pub mod gen;
 pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod serve;
 pub mod store;
 pub mod suites;
+pub mod validate;
 
 pub use cache::{
     CacheKey, CacheStats, CanonicalKey, KeyConfiguration, ScenarioKeySeed, SolveCache, SolveSource,
@@ -87,13 +96,15 @@ pub use executor::{
     expand_suite, run_scenario, run_suite, run_suite_with_cache, ExecutorStats, ExpansionSummary,
     PanicInjection, PointOutcome, RunSettings, ScenarioOutcome, SuiteOutcome,
 };
+pub use gen::{generate_suite, GenParams};
 pub use pool::Engine;
 pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
-pub use scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
+pub use scenario::{Flow, Scenario, Suite, SweepSpec, ValidationMode, WorkloadSpec};
 pub use serve::{Reply, Request, ServeConfig, Server, StatsSnapshot};
 pub use store::{
     GcOutcome, GcPolicy, SolveStore, StoreEntry, StoreStats, StoreSummary, STORE_SCHEMA_VERSION,
 };
+pub use validate::{validate_outcome, PointValidation, ValidationReport};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -138,6 +149,7 @@ mod tests {
         assert_send_sync::<SolveStore>();
         assert_send_sync::<SuiteOutcome>();
         assert_send_sync::<SuiteReport>();
+        assert_send_sync::<ValidationReport>();
         assert_send_sync::<EngineError>();
     }
 }

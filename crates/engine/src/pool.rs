@@ -44,6 +44,7 @@ use crate::executor::{
     PointOutcome, PoolCounters, ResolvedScenario, RunSettings, SuiteOutcome, WorkItem,
 };
 use crate::scenario::Suite;
+use crate::validate::{PointValidation, ValidationJob};
 use std::collections::{HashSet, VecDeque};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -76,6 +77,12 @@ enum Assignment {
         job: Arc<JobState>,
         home: usize,
         results: mpsc::Sender<(usize, usize, PointOutcome)>,
+    },
+    /// Claim replay tasks off the validation cursor and send the verdicts
+    /// home slot-addressed.
+    Validate {
+        job: Arc<ValidationJob>,
+        results: mpsc::Sender<(usize, usize, PointValidation)>,
     },
 }
 
@@ -126,6 +133,11 @@ impl Engine {
                                     );
                                     // `results` drops here: one retired
                                     // worker.
+                                }
+                                Assignment::Validate { job, results } => {
+                                    job.drain(&results);
+                                    // `results` drops here: one retired
+                                    // validator.
                                 }
                             }
                         }
@@ -281,7 +293,7 @@ impl Engine {
                 .expect("engine worker thread is alive");
         }
         drop(sender);
-        assemble_outcome(
+        let mut outcome = assemble_outcome(
             suite,
             resolved,
             receiver,
@@ -290,7 +302,50 @@ impl Engine {
             &job.counters,
             jobs,
             start,
-        )
+        );
+        // The validation stage replays solved mappings after assembly, on
+        // the same parked workers; the wall clock covers it, the report
+        // never does.
+        self.validate(&mut outcome, settings);
+        outcome.wall_time = start.elapsed();
+        outcome
+    }
+
+    /// Runs the validation stage on the parked workers: replays every
+    /// requested feasible point of `outcome` and attaches the verdicts.
+    /// The pooled counterpart of
+    /// [`validate_outcome`](crate::validate::validate_outcome) — same
+    /// cursor, same slot-addressed collection, byte-identical results.
+    fn validate(&self, outcome: &mut SuiteOutcome, settings: &RunSettings) {
+        let job = ValidationJob::from_outcome(outcome, settings);
+        if job.task_count() == 0 {
+            return;
+        }
+        let jobs = settings
+            .jobs
+            .max(1)
+            .min(self.workers.len())
+            .min(job.task_count());
+        let (sender, receiver) = mpsc::channel();
+        if jobs <= 1 {
+            job.drain_serial(&sender);
+            drop(sender);
+        } else {
+            let job = Arc::new(job);
+            for worker in self.workers.iter().take(jobs) {
+                worker
+                    .assignments
+                    .as_ref()
+                    .expect("pool is alive while the engine exists")
+                    .send(Assignment::Validate {
+                        job: Arc::clone(&job),
+                        results: sender.clone(),
+                    })
+                    .expect("engine worker thread is alive");
+            }
+            drop(sender);
+        }
+        ValidationJob::apply(outcome, receiver);
     }
 
     /// Resolves and expands `suite` on the pooled workers — the exact

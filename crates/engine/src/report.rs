@@ -44,11 +44,17 @@ pub struct PointReport {
     pub total_budget: Option<u64>,
     /// Total storage, in container-size units.
     pub total_storage: Option<u64>,
-    /// Worst steady-state period measured by the simulator, when requested.
+    /// Worst steady-state period measured by the validation replay, when
+    /// requested.
     pub measured_period: Option<f64>,
     /// Whether the measured period met the requirement (plus transient
     /// tolerance).
     pub guarantee_ok: Option<bool>,
+    /// Buffers whose fill level the validation replay observed.
+    pub buffers_checked: Option<u64>,
+    /// Buffers whose observed high-water mark exceeded the computed
+    /// capacity.
+    pub buffer_violations: Option<u64>,
 }
 
 /// One scenario of the suite.
@@ -219,6 +225,12 @@ impl SuiteReport {
                 if let Some(ok) = point.guarantee_ok {
                     push("guarantee_ok", "", u64::from(ok).to_string());
                 }
+                if let Some(checked) = point.buffers_checked {
+                    push("buffers_checked", "", checked.to_string());
+                }
+                if let Some(violations) = point.buffer_violations {
+                    push("buffer_violations", "", violations.to_string());
+                }
             }
         }
         out
@@ -328,8 +340,10 @@ fn scenario_report(outcome: &ScenarioOutcome) -> ScenarioReport {
                 mapping: Some(mapping_report(&outcome.configuration, mapping)),
                 total_budget: Some(mapping.total_budget()),
                 total_storage: Some(mapping.total_storage(&outcome.configuration)),
-                measured_period: point.simulation.as_ref().map(|s| s.measured_period),
-                guarantee_ok: point.simulation.as_ref().map(|s| s.guarantee_ok),
+                measured_period: point.validation.as_ref().map(|v| v.measured_period),
+                guarantee_ok: point.validation.as_ref().map(|v| v.period_ok),
+                buffers_checked: point.validation.as_ref().map(|v| v.buffers_checked),
+                buffer_violations: point.validation.as_ref().map(|v| v.buffer_violations),
             },
             Err(error) => PointReport {
                 capacity_cap: point.capacity_cap,
@@ -340,6 +354,8 @@ fn scenario_report(outcome: &ScenarioOutcome) -> ScenarioReport {
                 total_storage: None,
                 measured_period: None,
                 guarantee_ok: None,
+                buffers_checked: None,
+                buffer_violations: None,
             },
         })
         .collect();
@@ -394,6 +410,7 @@ fn scenario_table(scenario: &ScenarioReport) -> (Vec<String>, Vec<Vec<String>>) 
     if simulated {
         header.push("measured period".to_string());
         header.push("guarantee".to_string());
+        header.push("buffers".to_string());
     }
     let rows = scenario
         .points
@@ -452,6 +469,11 @@ fn scenario_table(scenario: &ScenarioReport) -> (Vec<String>, Vec<Vec<String>>) 
                     Some(true) => "ok".to_string(),
                     Some(false) => "VIOLATED".to_string(),
                     None => "-".to_string(),
+                });
+                row.push(match (point.buffers_checked, point.buffer_violations) {
+                    (Some(checked), Some(0)) => format!("{checked} ok"),
+                    (Some(checked), Some(over)) => format!("{over}/{checked} OVER"),
+                    _ => "-".to_string(),
                 });
             }
             row

@@ -60,6 +60,44 @@ impl fmt::Display for Flow {
     }
 }
 
+/// How a scenario's solved points are validated after solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationMode {
+    /// Replay every feasible mapping on the discrete-event TDM simulator
+    /// and check the measured period and buffer fill levels against the
+    /// solver's guarantees.
+    Sim,
+}
+
+impl ValidationMode {
+    /// The canonical string form used in scenario files (`"sim"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValidationMode::Sim => "sim",
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an unknown mode name.
+    pub fn parse(text: &str) -> Result<Self, EngineError> {
+        match text {
+            "sim" => Ok(ValidationMode::Sim),
+            other => Err(EngineError::InvalidScenario(format!(
+                "unknown validation mode `{other}`; known: sim"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ValidationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Where a scenario's configuration comes from: a preset by name or an
 /// inline configuration. Exactly one of the two must be set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -225,9 +263,13 @@ pub struct Scenario {
     pub flow: Option<String>,
     /// Also report the per-step budget reduction of the sweep (Figure 2(b)).
     pub derivative: Option<bool>,
-    /// Execute every computed mapping on the TDM scheduler simulator and
-    /// check the throughput guarantee.
+    /// Legacy spelling of `validate: "sim"`, kept so existing scenario
+    /// files keep working; prefer [`validate`](Self::validate) in new
+    /// files.
     pub simulate: Option<bool>,
+    /// Post-solve validation mode (`"sim"`); `None` skips validation
+    /// unless the legacy `simulate` flag requests it.
+    pub validate: Option<String>,
     /// The scenario is *expected* to contain infeasible points (for example
     /// the two-phase false negative); they then do not fail the run.
     pub expect_infeasible: Option<bool>,
@@ -244,6 +286,7 @@ impl Scenario {
             flow: None,
             derivative: None,
             simulate: None,
+            validate: None,
             expect_infeasible: None,
         }
     }
@@ -276,10 +319,18 @@ impl Scenario {
         self
     }
 
-    /// Requests simulator validation of every point.
+    /// Requests simulator validation of every point (the legacy spelling
+    /// of [`with_validation`](Self::with_validation)).
     #[must_use]
     pub fn with_simulation(mut self) -> Self {
         self.simulate = Some(true);
+        self
+    }
+
+    /// Requests post-solve validation of every point in the given mode.
+    #[must_use]
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.validate = Some(mode.as_str().to_string());
         self
     }
 
@@ -299,6 +350,21 @@ impl Scenario {
         match &self.flow {
             Some(name) => Flow::parse(name),
             None => Ok(Flow::Joint),
+        }
+    }
+
+    /// The post-solve validation mode of the scenario, if any.
+    ///
+    /// The legacy `simulate: true` flag is an alias for `validate: "sim"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidScenario`] for an unknown mode name.
+    pub fn resolved_validation(&self) -> Result<Option<ValidationMode>, EngineError> {
+        match &self.validate {
+            Some(name) => ValidationMode::parse(name).map(Some),
+            None if self.simulate == Some(true) => Ok(Some(ValidationMode::Sim)),
+            None => Ok(None),
         }
     }
 
@@ -327,6 +393,7 @@ impl Scenario {
             sweep.caps()?;
         }
         self.resolved_flow()?;
+        self.resolved_validation()?;
         Ok(())
     }
 }
@@ -477,6 +544,29 @@ mod tests {
         assert!(twice.validate().is_err());
         let ok = Suite::new("ok", vec![pc_scenario()]);
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_mode_resolves_flag_and_legacy_alias() {
+        let none = pc_scenario();
+        assert_eq!(none.resolved_validation().unwrap(), None);
+        let explicit = pc_scenario().with_validation(ValidationMode::Sim);
+        assert_eq!(
+            explicit.resolved_validation().unwrap(),
+            Some(ValidationMode::Sim)
+        );
+        assert!(explicit.validate().is_ok());
+        let legacy = pc_scenario().with_simulation();
+        assert_eq!(
+            legacy.resolved_validation().unwrap(),
+            Some(ValidationMode::Sim)
+        );
+        let mut unknown = pc_scenario();
+        unknown.validate = Some("telepathy".to_string());
+        assert!(unknown.resolved_validation().is_err());
+        assert!(unknown.validate().is_err());
+        assert!(ValidationMode::parse("sim").is_ok());
+        assert_eq!(ValidationMode::Sim.to_string(), "sim");
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! These are the declarative equivalents of what the `figures` binary used
 //! to hardcode; the binary now just names them. `paper` reproduces the six
 //! experiments of the paper, `paper-plus` adds the `ring` scenario,
-//! `smoke` is a three-point suite cheap enough for CI gates and tests, and
-//! `sweep-10k` is the 10 000-point expansion/scheduling stress sweep.
+//! `smoke` is a three-point suite cheap enough for CI gates and tests,
+//! `sweep-10k` is the 10 000-point expansion/scheduling stress sweep, and
+//! `gen-smoke` is a pinned-seed sample of the scenario generator with
+//! validation on every scenario.
 
-use crate::scenario::{Flow, Scenario, Suite, SweepSpec, WorkloadSpec};
+use crate::gen::{generate_suite, GenParams};
+use crate::scenario::{Flow, Scenario, Suite, SweepSpec, ValidationMode, WorkloadSpec};
 use bbs_taskgraph::presets::{PresetSpec, RandomWorkload};
 use budget_buffer::SolveOptions;
 
@@ -15,7 +18,7 @@ pub const RUNTIME_SIZES: [usize; 5] = [4, 8, 12, 16, 24];
 
 /// Names of the built-in suites, in the order `bbs list` prints them.
 pub fn builtin_suite_names() -> &'static [&'static str] {
-    &["paper", "paper-plus", "smoke", "sweep-10k"]
+    &["paper", "paper-plus", "smoke", "sweep-10k", "gen-smoke"]
 }
 
 /// Looks a built-in suite up by name.
@@ -25,6 +28,7 @@ pub fn builtin_suite(name: &str) -> Option<Suite> {
         "paper-plus" => Some(paper_plus_suite()),
         "smoke" => Some(smoke_suite()),
         "sweep-10k" => Some(sweep_10k_suite()),
+        "gen-smoke" => Some(gen_smoke_suite()),
         _ => None,
     }
 }
@@ -104,7 +108,7 @@ pub fn ablation_scenarios() -> Vec<Scenario> {
 pub fn validate_scenario() -> Scenario {
     Scenario::new("validate", producer_consumer_workload())
         .with_sweep(SweepSpec::list([1u64, 2, 4, 6, 8, 10]))
-        .with_simulation()
+        .with_validation(ValidationMode::Sim)
 }
 
 /// The `ring` experiment: sweep the cyclic preset. The feedback buffer
@@ -183,6 +187,15 @@ pub fn sweep_10k_suite() -> Suite {
         vec![Scenario::new("pc-cycle", producer_consumer_workload())
             .with_sweep(SweepSpec::list(caps))],
     )
+}
+
+/// A pinned sample of the scenario generator (`bbs gen --seed 7`): every
+/// scenario carries `validate: "sim"`, so the suite doubles as a cheap
+/// fuzz-shaped validation gate for CI and tests.
+pub fn gen_smoke_suite() -> Suite {
+    let mut suite = generate_suite(&GenParams::default());
+    suite.name = "gen-smoke".to_string();
+    suite
 }
 
 #[cfg(test)]

@@ -3,10 +3,12 @@
 //! The serialisable report must be a pure function of the suite definition:
 //! identical bytes across worker counts, cache settings and repeated runs.
 
-use bbs_engine::suites::{paper_plus_suite, smoke_suite, sweep_10k_suite, SWEEP_10K_POINTS};
+use bbs_engine::suites::{
+    gen_smoke_suite, paper_plus_suite, smoke_suite, sweep_10k_suite, SWEEP_10K_POINTS,
+};
 use bbs_engine::{
-    run_suite, CacheKey, Engine, RunSettings, Scenario, SolveCache, Suite, SuiteReport, SweepSpec,
-    WorkloadSpec,
+    generate_suite, run_suite, CacheKey, Engine, GenParams, RunSettings, Scenario, SolveCache,
+    Suite, SuiteReport, SweepSpec, ValidationReport, WorkloadSpec,
 };
 use bbs_taskgraph::presets::PresetSpec;
 use budget_buffer::{compute_mapping, with_capacity_cap, SolveOptions};
@@ -148,6 +150,56 @@ fn suite_with_expected_infeasible_points_is_still_deterministic() {
     let report = SuiteReport::from_json(&sequential).unwrap();
     assert!(!report.scenarios[0].points[0].feasible);
     assert!(report.scenarios[0].points[1].feasible);
+}
+
+#[test]
+fn validation_summaries_are_byte_identical_across_jobs_and_executors() {
+    // The `bbs validate` surface: a generated suite (every scenario carries
+    // `validate: "sim"`), replayed at one, two and sixteen workers, on the
+    // scoped executor and on the reusable pool — the validation report JSON
+    // and the rendered summary must not move by a byte.
+    let suite = gen_smoke_suite();
+    let settings = |jobs| RunSettings {
+        validate_all: true,
+        jobs,
+        ..RunSettings::default()
+    };
+    let baseline = ValidationReport::from_outcome(&run_suite(&suite, &settings(1)).unwrap());
+    assert!(baseline.validated_points() > 0, "nothing was replayed");
+    let engine = Engine::new(16);
+    for jobs in [1usize, 2, 16] {
+        let fresh = ValidationReport::from_outcome(&run_suite(&suite, &settings(jobs)).unwrap());
+        let pooled =
+            ValidationReport::from_outcome(&engine.run_suite(&suite, &settings(jobs)).unwrap());
+        for (label, report) in [("fresh", &fresh), ("pooled", &pooled)] {
+            assert_eq!(
+                baseline.to_json(),
+                report.to_json(),
+                "{label} validation JSON diverged at --jobs {jobs}"
+            );
+            assert_eq!(
+                baseline.render_summary(),
+                report.render_summary(),
+                "{label} summary diverged at --jobs {jobs}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // `bbs gen --seed N` must be a pure function of its parameters: equal
+    // seeds produce byte-identical suite files, and every generated suite
+    // passes schema validation.
+    #[test]
+    fn same_seed_generates_byte_identical_suites(seed in 0u64..100_000) {
+        let params = GenParams { seed, points: 8 };
+        let first = serde_json::to_string_pretty(&generate_suite(&params)).unwrap();
+        let second = serde_json::to_string_pretty(&generate_suite(&params)).unwrap();
+        prop_assert_eq!(&first, &second);
+        generate_suite(&params).validate().unwrap();
+    }
 }
 
 proptest! {

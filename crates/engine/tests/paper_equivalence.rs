@@ -157,17 +157,18 @@ fn validate_scenario_meets_the_guarantee_on_every_point() {
     let outcome = run_scenario(&validate_scenario(), &RunSettings::default()).unwrap();
     assert_eq!(outcome.points.len(), 6);
     for point in &outcome.points {
-        let check = point.simulation.as_ref().expect("simulation requested");
+        let check = point.validation.as_ref().expect("validation requested");
         assert!(
-            check.guarantee_ok,
+            check.period_ok,
             "guarantee violated at cap {:?}: measured {} > required {} + {}",
             point.capacity_cap, check.measured_period, check.required_period, check.tolerance
         );
+        assert_eq!(check.buffer_violations, 0, "cap {:?}", point.capacity_cap);
     }
     // The loosest mapping (cap 10, minimum budgets) runs closest to the
     // requirement; everything must still be within the transient tolerance.
     let last = outcome.points.last().unwrap();
-    let check = last.simulation.as_ref().unwrap();
+    let check = last.validation.as_ref().unwrap();
     assert!(check.measured_period > 1.0 && check.measured_period.is_finite());
 }
 

@@ -301,6 +301,124 @@ fn closed_queue_rejects_new_submissions_during_drain() {
     server.wait();
 }
 
+#[test]
+fn an_oversized_frame_header_ends_the_session_but_not_the_server() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // A header claiming one byte above the 32 MiB cap, with no body: the
+    // session must refuse to allocate and drop the connection.
+    let mut attacker = TcpStream::connect(addr).unwrap();
+    let oversized = (32 * 1024 * 1024 + 1u32).to_be_bytes();
+    attacker.write_all(&oversized).unwrap();
+    attacker.flush().unwrap();
+    // The server closes the connection (EOF) rather than replying; either a
+    // clean close or a reset counts, a reply or a hang does not.
+    match read_reply(&mut attacker) {
+        Ok(None) | Err(_) => {}
+        Ok(Some(reply)) => panic!("expected a closed connection, got {reply:?}"),
+    }
+
+    // The listener and dispatcher survive: a fresh connection still serves.
+    let mut healthy = TcpStream::connect(addr).unwrap();
+    let (points, report) = submit_and_collect(&mut healthy, &Request::run_builtin("smoke", 2));
+    assert_eq!(points, 8);
+    assert_eq!(
+        report.report.as_deref(),
+        Some(local_smoke_report().as_str())
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn a_malformed_json_frame_gets_an_error_reply_and_the_session_continues() {
+    use std::io::Write as _;
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // A well-formed frame whose payload is not a request: framing survives,
+    // decoding fails, and the session must say so instead of dying.
+    let garbage = b"{this is not json";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    frame.extend_from_slice(garbage);
+    stream.write_all(&frame).unwrap();
+    stream.flush().unwrap();
+    let reply = read_reply(&mut stream).unwrap().unwrap();
+    assert_eq!(reply.kind, "error");
+    assert!(
+        reply
+            .message
+            .as_deref()
+            .is_some_and(|m| m.starts_with("malformed request")),
+        "unexpected message: {:?}",
+        reply.message
+    );
+
+    // A truncated frame — header promising more bytes than ever arrive —
+    // ends a *different* session quietly (there is nothing left to parse).
+    let mut truncated = TcpStream::connect(server.addr()).unwrap();
+    truncated.write_all(&64u32.to_be_bytes()).unwrap();
+    truncated.write_all(b"short").unwrap();
+    drop(truncated);
+
+    // The first session is still alive and fully functional after its
+    // error reply, and the server after the truncated one.
+    let (points, _) = submit_and_collect(&mut stream, &Request::run_builtin("smoke", 1));
+    assert_eq!(points, 8);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn a_client_disconnecting_mid_submission_releases_its_queue_slot() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Submit, get admitted, then vanish without collecting any replies.
+    let mut ghost = TcpStream::connect(addr).unwrap();
+    send_request(&mut ghost, &Request::run_builtin("smoke", 2)).unwrap();
+    assert_eq!(read_reply(&mut ghost).unwrap().unwrap().kind, "accepted");
+    drop(ghost);
+
+    // The dispatcher must finish the orphaned work and free its slot: with
+    // queue_capacity 1, the next submission can only be admitted once
+    // `complete()` ran. Poll the counters rather than sleeping blind.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let queue = server.stats().queue.unwrap();
+        if queue.completed == 1 && queue.in_flight == 0 && queue.depth == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned submission never drained: {queue:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The freed slot admits and serves a well-behaved client.
+    let mut healthy = TcpStream::connect(addr).unwrap();
+    let (points, report) = submit_and_collect(&mut healthy, &Request::run_builtin("smoke", 2));
+    assert_eq!(points, 8);
+    assert_eq!(
+        report.report.as_deref(),
+        Some(local_smoke_report().as_str())
+    );
+    let queue = server.stats().queue.unwrap();
+    assert_eq!(queue.submitted, 2);
+    assert_eq!(queue.completed, 2);
+    server.shutdown();
+    server.wait();
+}
+
 /// Runs the real `bbs` binary, asserting success, returning stdout.
 fn bbs(args: &[&str]) -> String {
     let output = Command::new(env!("CARGO_BIN_EXE_bbs"))

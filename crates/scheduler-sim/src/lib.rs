@@ -27,15 +27,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod fifo;
 mod sim;
 mod tdm;
+mod validate;
 
 pub use fifo::FifoState;
 pub use sim::{simulate_mapping, SimulationError, SimulationResult, SimulationSettings};
 pub use tdm::{TdmSlot, TdmWheel};
+pub use validate::{
+    measurement_tolerance, validate_mapping, BufferCheck, MappingValidation, PeriodCheck,
+};
 
 #[cfg(test)]
 mod tests {
@@ -49,5 +53,6 @@ mod tests {
         assert_send_sync::<SimulationResult>();
         assert_send_sync::<SimulationError>();
         assert_send_sync::<SimulationSettings>();
+        assert_send_sync::<MappingValidation>();
     }
 }
