@@ -3,6 +3,7 @@
 //! ```text
 //! bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
 //!         [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
+//!         [--cache-max-bytes N] [--remote-store HOST:PORT]
 //!         [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
 //! bbs validate [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
 //!         [--no-steal] [--json PATH] [--quiet]
@@ -10,10 +11,13 @@
 //! bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
 //! bbs list
 //! bbs check [REPORT.json | SUITE.json | -]
-//! bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
+//! bbs cache (stats [--json] | clear
+//!           | gc [--max-entries N] [--max-age SECONDS] [--max-bytes N]
+//!                [--recompress])
 //!           [--cache-dir DIR]
 //! bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
-//!           [--retry-after-ms MS] [--cache-dir DIR] [--cache-max-entries N]
+//!           [--retry-after-ms MS] [--max-sessions N] [--cache-dir DIR]
+//!           [--cache-max-entries N] [--cache-max-bytes N]
 //! bbs client (run | stats | shutdown | bench) --addr HOST:PORT [...]
 //! ```
 //!
@@ -26,7 +30,11 @@
 //! With `--cache-dir` (or the `BBS_CACHE_DIR` environment variable) solves
 //! are also persisted to a content-addressed on-disk store, so later
 //! invocations skip them entirely; `--cache-max-entries` (or
-//! `BBS_CACHE_MAX_ENTRIES`) bounds that store's size on the write path.
+//! `BBS_CACHE_MAX_ENTRIES`) and `--cache-max-bytes` (or
+//! `BBS_CACHE_MAX_BYTES`) bound that store's size on the write path.
+//! `--remote-store` (or `BBS_REMOTE_STORE`) layers a peer `bbs serve`
+//! daemon's store under the local directory as a read-through/write-behind
+//! tier — misses consult the peer, fresh solves are offered back to it.
 //! `bbs cache` inspects and manages the store. `expand` runs only the
 //! resolve-and-expand pipeline stage and reports the work-item counts — a
 //! dry run for suite files. `check` parses and
@@ -56,8 +64,8 @@ use bbs_engine::serve::{read_reply, send_request, Reply, Request, StoreReport};
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
     expand_suite, generate_suite, run_suite_with_cache, Engine, GcPolicy, GenParams,
-    PanicInjection, RunSettings, ServeConfig, Server, SolveCache, SolveStore, StatsSnapshot, Suite,
-    SuiteReport, ValidationReport,
+    PanicInjection, RemoteBackend, RunSettings, ServeConfig, Server, SolveCache, SolveStore,
+    StatsSnapshot, Suite, SuiteReport, ValidationReport,
 };
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -70,6 +78,7 @@ const USAGE: &str = "\
 usage:
   bbs run [--suite NAME | --file PATH] [--jobs N] [--no-cache] [--no-steal]
           [--fresh-executor] [--cache-dir DIR] [--cache-max-entries N]
+          [--cache-max-bytes N] [--remote-store HOST:PORT]
           [--json PATH] [--csv PATH] [--markdown PATH] [--quiet]
   bbs validate [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
           [--no-steal] [--json PATH] [--quiet]
@@ -77,10 +86,13 @@ usage:
   bbs expand [--suite NAME | --file PATH] [--jobs N] [--fresh-executor]
   bbs list
   bbs check [REPORT.json | SUITE.json | -]
-  bbs cache (stats [--json] | clear | gc [--max-entries N] [--max-age SECONDS])
+  bbs cache (stats [--json] | clear
+            | gc [--max-entries N] [--max-age SECONDS] [--max-bytes N]
+                 [--recompress])
             [--cache-dir DIR]
   bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
-            [--retry-after-ms MS] [--cache-dir DIR] [--cache-max-entries N]
+            [--retry-after-ms MS] [--max-sessions N] [--cache-dir DIR]
+            [--cache-max-entries N] [--cache-max-bytes N]
   bbs client run --addr HOST:PORT [--suite NAME | --file PATH] [--jobs N]
             [--json PATH] [--quiet]
   bbs client (stats | shutdown) --addr HOST:PORT
@@ -89,8 +101,13 @@ usage:
 
 `--json`/`--csv`/`--markdown` accept `-` for stdout. `--cache-dir` (or the
 BBS_CACHE_DIR environment variable) persists solve results across runs;
-`--cache-max-entries` (or BBS_CACHE_MAX_ENTRIES) bounds that store on the
-write path with the same eviction `cache gc --max-entries` applies.
+`--cache-max-entries` (or BBS_CACHE_MAX_ENTRIES) and `--cache-max-bytes`
+(or BBS_CACHE_MAX_BYTES) bound that store on the write path with the same
+eviction `cache gc` applies. `--remote-store HOST:PORT` (or
+BBS_REMOTE_STORE) layers a peer `bbs serve` daemon's store under the local
+directory: misses are fetched from the peer, fresh solves offered back.
+`cache gc --recompress` migrates v1 (plain JSON) entries to the compressed
+v2 container in place.
 `--no-steal` schedules work over the single shared queue instead of the
 work-stealing per-worker deques; `--fresh-executor` spawns per-run worker
 threads instead of the reusable pool (reports are identical either way).
@@ -140,6 +157,8 @@ struct RunArgs {
     pooled: bool,
     cache_dir: Option<String>,
     cache_max_entries: Option<u64>,
+    cache_max_bytes: Option<u64>,
+    remote_store: Option<String>,
     json: Option<String>,
     csv: Option<String>,
     markdown: Option<String>,
@@ -156,6 +175,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         pooled: true,
         cache_dir: None,
         cache_max_entries: None,
+        cache_max_bytes: None,
+        remote_store: None,
         json: None,
         csv: None,
         markdown: None,
@@ -190,6 +211,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         format!("--cache-max-entries must be a count, got `{raw}`")
                     })?);
             }
+            "--cache-max-bytes" => {
+                let raw = value("--cache-max-bytes")?;
+                parsed.cache_max_bytes =
+                    Some(raw.parse::<u64>().map_err(|_| {
+                        format!("--cache-max-bytes must be a byte count, got `{raw}`")
+                    })?);
+            }
+            "--remote-store" => parsed.remote_store = Some(value("--remote-store")?),
             "--json" => parsed.json = Some(value("--json")?),
             "--csv" => parsed.csv = Some(value("--csv")?),
             "--markdown" => parsed.markdown = Some(value("--markdown")?),
@@ -325,6 +354,50 @@ fn effective_cache_max_entries(flag: Option<u64>) -> Result<Option<u64>, String>
     }
 }
 
+/// The automatic store byte budget in effect: the flag wins over
+/// `BBS_CACHE_MAX_BYTES`, with the same malformed-is-an-error discipline
+/// as [`effective_cache_max_entries`].
+fn effective_cache_max_bytes(flag: Option<u64>) -> Result<Option<u64>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    match std::env::var("BBS_CACHE_MAX_BYTES") {
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("BBS_CACHE_MAX_BYTES must be a byte count, got `{raw}`")),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The remote store peer in effect: the flag wins over `BBS_REMOTE_STORE`;
+/// an empty or all-whitespace value behaves like an unset one.
+fn effective_remote_store(flag: Option<&str>) -> Option<String> {
+    flag.map(str::to_string)
+        .or_else(|| std::env::var("BBS_REMOTE_STORE").ok())
+        .filter(|addr| !addr.trim().is_empty())
+}
+
+/// Builds the persistent store `run`/`validate` hang off the cache:
+/// directory tier, write-path caps, then the optional remote tier.
+fn configured_store(dir: &str, args: &RunArgs) -> Result<SolveStore, String> {
+    let mut store = open_store(dir)?;
+    if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
+        store = store.with_max_entries(cap);
+    }
+    if let Some(budget) = effective_cache_max_bytes(args.cache_max_bytes)? {
+        store = store.with_max_bytes(budget);
+    }
+    if let Some(addr) = effective_remote_store(args.remote_store.as_deref()) {
+        let remote = RemoteBackend::connect(&addr)
+            .map_err(|e| format!("cannot connect to remote store {addr}: {e}"))?;
+        store = store.with_remote(Box::new(remote));
+    }
+    Ok(store)
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let args = parse_run_args(args)?;
     let suite = load_suite(&args)?;
@@ -338,12 +411,12 @@ fn run(args: &[String]) -> Result<(), String> {
     // `--no-cache` bypasses both tiers: without the in-memory tier there is
     // no deterministic once-per-key funnel to hang the disk tier off.
     let cache = match effective_cache_dir(args.cache_dir.as_deref()) {
-        Some(dir) if args.use_cache => {
-            let mut store = open_store(&dir)?;
-            if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
-                store = store.with_max_entries(cap);
-            }
-            SolveCache::with_store(store)
+        Some(dir) if args.use_cache => SolveCache::with_store(configured_store(&dir, &args)?),
+        _ if effective_remote_store(args.remote_store.as_deref()).is_some() => {
+            return Err(
+                "--remote-store needs a local cache directory (--cache-dir) and caching enabled"
+                    .to_string(),
+            );
         }
         _ => SolveCache::new(),
     };
@@ -408,12 +481,12 @@ fn validate(args: &[String]) -> Result<(), String> {
         ..RunSettings::default()
     };
     let cache = match effective_cache_dir(args.cache_dir.as_deref()) {
-        Some(dir) if args.use_cache => {
-            let mut store = open_store(&dir)?;
-            if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
-                store = store.with_max_entries(cap);
-            }
-            SolveCache::with_store(store)
+        Some(dir) if args.use_cache => SolveCache::with_store(configured_store(&dir, &args)?),
+        _ if effective_remote_store(args.remote_store.as_deref()).is_some() => {
+            return Err(
+                "--remote-store needs a local cache directory (--cache-dir) and caching enabled"
+                    .to_string(),
+            );
         }
         _ => SolveCache::new(),
     };
@@ -619,6 +692,8 @@ struct CacheArgs {
     cache_dir: Option<String>,
     max_entries: Option<u64>,
     max_age: Option<Duration>,
+    max_bytes: Option<u64>,
+    recompress: bool,
     json: bool,
 }
 
@@ -636,6 +711,8 @@ fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
         cache_dir: None,
         max_entries: None,
         max_age: None,
+        max_bytes: None,
+        recompress: false,
         json: false,
     };
     let mut iter = flags.iter();
@@ -662,6 +739,14 @@ fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
                     .map_err(|_| format!("--max-age must be a number of seconds, got `{raw}`"))?;
                 parsed.max_age = Some(Duration::from_secs(seconds));
             }
+            "--max-bytes" if action == "gc" => {
+                let raw = value("--max-bytes")?;
+                parsed.max_bytes = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("--max-bytes must be a byte count, got `{raw}`"))?,
+                );
+            }
+            "--recompress" if action == "gc" => parsed.recompress = true,
             other => {
                 return Err(format!(
                     "unknown flag `{other}` for `cache {action}`\n{USAGE}"
@@ -669,8 +754,16 @@ fn parse_cache_args(args: &[String]) -> Result<CacheArgs, String> {
             }
         }
     }
-    if action == "gc" && parsed.max_entries.is_none() && parsed.max_age.is_none() {
-        return Err("`cache gc` needs --max-entries and/or --max-age".to_string());
+    if action == "gc"
+        && parsed.max_entries.is_none()
+        && parsed.max_age.is_none()
+        && parsed.max_bytes.is_none()
+        && !parsed.recompress
+    {
+        return Err(
+            "`cache gc` needs --max-entries, --max-age, --max-bytes and/or --recompress"
+                .to_string(),
+        );
     }
     Ok(parsed)
 }
@@ -710,6 +803,14 @@ fn cache(args: &[String]) -> Result<(), String> {
                 "  {} entries ({} feasible, {} infeasible), {} bytes",
                 summary.entries, summary.feasible, summary.infeasible, summary.total_bytes
             );
+            println!(
+                "  {} bytes logical (uncompressed), {} bytes on disk",
+                summary.logical_bytes, summary.total_bytes
+            );
+            println!(
+                "  {} v1 (plain JSON) entries, {} v2 (compressed) entries",
+                summary.v1_entries, summary.v2_entries
+            );
             if summary.corrupt > 0 {
                 println!(
                     "  {} corrupt or foreign-version files (ignored by lookups; `bbs cache gc` \
@@ -725,22 +826,38 @@ fn cache(args: &[String]) -> Result<(), String> {
             println!("cache directory {dir}: removed {removed} entries");
         }
         "gc" => {
-            let outcome = store
-                .gc(GcPolicy {
-                    max_entries: args.max_entries,
-                    max_age: args.max_age,
-                })
-                .map_err(|e| format!("cannot gc {dir}: {e}"))?;
-            println!(
-                "cache directory {dir}: removed {} entries, kept {}",
-                outcome.removed, outcome.kept
-            );
-            if outcome.unreadable_mtimes > 0 {
+            // Recompress first: migrated entries shrink before any byte
+            // budget is enforced, so a combined invocation evicts only what
+            // the compacted store still cannot hold.
+            if args.recompress {
+                let outcome = store
+                    .recompress()
+                    .map_err(|e| format!("cannot recompress {dir}: {e}"))?;
                 println!(
-                    "  {} entries had unreadable mtimes (treated as written now, \
-                     never age-evicted)",
-                    outcome.unreadable_mtimes
+                    "cache directory {dir}: recompressed {} entries ({} already current, \
+                     {} corrupt, {} failed)",
+                    outcome.migrated, outcome.already_current, outcome.corrupt, outcome.failed
                 );
+            }
+            if args.max_entries.is_some() || args.max_age.is_some() || args.max_bytes.is_some() {
+                let outcome = store
+                    .gc(GcPolicy {
+                        max_entries: args.max_entries,
+                        max_age: args.max_age,
+                        max_bytes: args.max_bytes,
+                    })
+                    .map_err(|e| format!("cannot gc {dir}: {e}"))?;
+                println!(
+                    "cache directory {dir}: removed {} entries, kept {} ({} bytes)",
+                    outcome.removed, outcome.kept, outcome.kept_bytes
+                );
+                if outcome.unreadable_mtimes > 0 {
+                    println!(
+                        "  {} entries had unreadable mtimes (treated as written now, \
+                         never age-evicted)",
+                        outcome.unreadable_mtimes
+                    );
+                }
             }
         }
         _ => unreachable!("validated by parse_cache_args"),
@@ -753,8 +870,10 @@ struct ServeArgs {
     jobs: usize,
     queue_capacity: u64,
     retry_after_ms: u64,
+    max_sessions: u64,
     cache_dir: Option<String>,
     cache_max_entries: Option<u64>,
+    cache_max_bytes: Option<u64>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -763,8 +882,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         jobs: 4,
         queue_capacity: 32,
         retry_after_ms: 250,
+        max_sessions: ServeConfig::default().max_sessions,
         cache_dir: None,
         cache_max_entries: None,
+        cache_max_bytes: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -796,12 +917,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .parse::<u64>()
                     .map_err(|_| format!("--retry-after-ms must be milliseconds, got `{raw}`"))?;
             }
+            "--max-sessions" => {
+                let raw = value("--max-sessions")?;
+                parsed.max_sessions = raw
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--max-sessions must be at least 1, got `{raw}`"))?;
+            }
             "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
             "--cache-max-entries" => {
                 let raw = value("--cache-max-entries")?;
                 parsed.cache_max_entries =
                     Some(raw.parse::<u64>().map_err(|_| {
                         format!("--cache-max-entries must be a count, got `{raw}`")
+                    })?);
+            }
+            "--cache-max-bytes" => {
+                let raw = value("--cache-max-bytes")?;
+                parsed.cache_max_bytes =
+                    Some(raw.parse::<u64>().map_err(|_| {
+                        format!("--cache-max-bytes must be a byte count, got `{raw}`")
                     })?);
             }
             other => return Err(format!("unknown flag `{other}` for `serve`\n{USAGE}")),
@@ -820,6 +956,9 @@ fn serve(args: &[String]) -> Result<(), String> {
             if let Some(cap) = effective_cache_max_entries(args.cache_max_entries)? {
                 store = store.with_max_entries(cap);
             }
+            if let Some(budget) = effective_cache_max_bytes(args.cache_max_bytes)? {
+                store = store.with_max_bytes(budget);
+            }
             Some(store)
         }
         None => None,
@@ -829,6 +968,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         workers: args.jobs,
         queue_capacity: args.queue_capacity,
         retry_after_ms: args.retry_after_ms,
+        max_sessions: args.max_sessions,
         store,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;

@@ -102,7 +102,9 @@ pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, ValidationMode, WorkloadSpec};
 pub use serve::{Reply, Request, ServeConfig, Server, StatsSnapshot};
 pub use store::{
-    GcOutcome, GcPolicy, SolveStore, StoreEntry, StoreStats, StoreSummary, STORE_SCHEMA_VERSION,
+    GcOutcome, GcPolicy, LocalDirBackend, RawEntry, RecompressOutcome, RemoteBackend, SolveStore,
+    StoreBackend, StoreEntry, StoreStats, StoreSummary, OLDEST_READABLE_SCHEMA,
+    STORE_SCHEMA_VERSION,
 };
 pub use validate::{validate_outcome, PointValidation, ValidationReport};
 

@@ -536,11 +536,21 @@ pub fn render_timing_summary(outcome: &SuiteOutcome) -> String {
         outcome.wall_time.as_secs_f64() * 1e3,
     );
     if let Some(store) = &outcome.store {
-        let _ = writeln!(
-            out,
-            "store: {} disk hits / {} fresh solves / {} newly stored / {} rejected",
-            store.disk_hits, store.fresh_solves, store.stored, store.rejected
-        );
+        // The remote segment appears only when a remote tier is attached:
+        // local-only runs keep the historical line byte-for-byte.
+        if store.remote_enabled {
+            let _ = writeln!(
+                out,
+                "store: {} disk hits / {} remote hits / {} fresh solves / {} newly stored / {} rejected",
+                store.disk_hits, store.remote_hits, store.fresh_solves, store.stored, store.rejected
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "store: {} disk hits / {} fresh solves / {} newly stored / {} rejected",
+                store.disk_hits, store.fresh_solves, store.stored, store.rejected
+            );
+        }
     }
     let pool = &outcome.executor;
     let _ = writeln!(

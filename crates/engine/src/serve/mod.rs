@@ -37,7 +37,7 @@ pub mod session;
 
 pub use protocol::{
     read_frame, read_reply, send_reply, send_request, write_frame, EngineStats, QueueStats, Reply,
-    Request, StatsSnapshot, StoreReport, MAX_FRAME_BYTES, STATS_SCHEMA_VERSION,
+    Request, SessionStats, StatsSnapshot, StoreReport, MAX_FRAME_BYTES, STATS_SCHEMA_VERSION,
 };
 pub use queue::{Admission, SubmissionQueue};
 pub use server::{ServeConfig, Server};

@@ -28,7 +28,11 @@ use crate::scenario::Suite;
 pub const MAX_FRAME_BYTES: u32 = 32 * 1024 * 1024;
 
 /// Schema version stamped into every [`StatsSnapshot`].
-pub const STATS_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: `1` — the PR 7 original; `2` — adds the per-session
+/// counters section and the store tier/compression fields (`remote_hits`,
+/// `logical_bytes`, per-version entry counts).
+pub const STATS_SCHEMA_VERSION: u64 = 2;
 
 /// Writes one length-prefixed frame and flushes the stream.
 pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
@@ -204,10 +208,18 @@ pub fn read_reply<R: Read>(stream: &mut R) -> io::Result<Option<Reply>> {
 ///   neither defaults to the built-in `paper` suite. `jobs` caps worker
 ///   parallelism for this submission.
 /// * `"stats"` — request a [`StatsSnapshot`].
+/// * `"store_get"` — fetch one store entry body by content address
+///   (`key_hash`); answered with a `"store_entry"` reply. Used by the
+///   remote store tier, not by interactive clients.
+/// * `"store_put"` — offer one store entry body (`entry`) for the peer's
+///   store; the peer validates it and derives the address itself. Answered
+///   with `"store_ok"` or `"error"`.
+/// * `"store_stats"` — request the peer's store view alone (a
+///   [`StoreReport`]), cheaper than a full `"stats"` snapshot.
 /// * `"shutdown"` — ask the server to drain and exit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Operation discriminant: `"run"`, `"stats"` or `"shutdown"`.
+    /// Operation discriminant (see the type-level list).
     pub kind: String,
     /// Inline suite definition for a `"run"` request.
     pub suite: Option<Suite>,
@@ -215,47 +227,71 @@ pub struct Request {
     pub suite_name: Option<String>,
     /// Worker-parallelism cap for this submission.
     pub jobs: Option<u64>,
+    /// Content address (16 lowercase hex digits) for a `"store_get"`.
+    pub key_hash: Option<String>,
+    /// Entry body text for a `"store_put"`.
+    pub entry: Option<String>,
 }
 
 impl Request {
+    fn blank(kind: &str) -> Self {
+        Self {
+            kind: kind.to_string(),
+            suite: None,
+            suite_name: None,
+            jobs: None,
+            key_hash: None,
+            entry: None,
+        }
+    }
+
     /// A `"run"` request for a built-in suite by name.
     pub fn run_builtin(name: &str, jobs: u64) -> Self {
         Self {
-            kind: "run".to_string(),
-            suite: None,
             suite_name: Some(name.to_string()),
             jobs: Some(jobs),
+            ..Self::blank("run")
         }
     }
 
     /// A `"run"` request carrying an inline suite definition.
     pub fn run_suite(suite: Suite, jobs: u64) -> Self {
         Self {
-            kind: "run".to_string(),
             suite: Some(suite),
-            suite_name: None,
             jobs: Some(jobs),
+            ..Self::blank("run")
         }
     }
 
     /// A `"stats"` request.
     pub fn stats() -> Self {
+        Self::blank("stats")
+    }
+
+    /// A `"store_get"` request for the entry at `address`.
+    pub fn store_get(address: &str) -> Self {
         Self {
-            kind: "stats".to_string(),
-            suite: None,
-            suite_name: None,
-            jobs: None,
+            key_hash: Some(address.to_string()),
+            ..Self::blank("store_get")
         }
+    }
+
+    /// A `"store_put"` request offering one entry body.
+    pub fn store_put(body: String) -> Self {
+        Self {
+            entry: Some(body),
+            ..Self::blank("store_put")
+        }
+    }
+
+    /// A `"store_stats"` request.
+    pub fn store_stats() -> Self {
+        Self::blank("store_stats")
     }
 
     /// A `"shutdown"` request.
     pub fn shutdown() -> Self {
-        Self {
-            kind: "shutdown".to_string(),
-            suite: None,
-            suite_name: None,
-            jobs: None,
-        }
+        Self::blank("shutdown")
     }
 }
 
@@ -274,6 +310,11 @@ impl Request {
 ///   `SuiteReport::to_json()` text, and `message` carries a failure
 ///   summary when any point failed unexpectedly.
 /// * `"stats"` — answer to a `"stats"` request, in `stats`.
+/// * `"store_entry"` — answer to a `"store_get"`: `entry` holds the body
+///   (absent on a miss — a miss is a normal reply, not an error) and
+///   `entry_version` the container version it was read from.
+/// * `"store_ok"` — acknowledgement of an accepted `"store_put"`.
+/// * `"store_stats"` — answer to a `"store_stats"` request, in `store`.
 /// * `"bye"` — acknowledgement of a `"shutdown"` request.
 /// * `"error"` — the request could not be handled; `message` explains.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -298,6 +339,12 @@ pub struct Reply {
     pub report: Option<String>,
     /// The stats payload, on `"stats"`.
     pub stats: Option<StatsSnapshot>,
+    /// The entry body, on a `"store_entry"` hit.
+    pub entry: Option<String>,
+    /// Container version the entry was read from, on `"store_entry"`.
+    pub entry_version: Option<u64>,
+    /// The store view, on `"store_stats"`.
+    pub store: Option<StoreReport>,
 }
 
 impl Reply {
@@ -313,6 +360,9 @@ impl Reply {
             feasible: None,
             report: None,
             stats: None,
+            entry: None,
+            entry_version: None,
+            store: None,
         }
     }
 
@@ -360,6 +410,29 @@ impl Reply {
         Self {
             stats: Some(snapshot),
             ..Self::blank("stats")
+        }
+    }
+
+    /// A `"store_entry"` reply: the body and container version on a hit,
+    /// both absent on a miss.
+    pub fn store_entry(body: Option<String>, version: Option<u64>) -> Self {
+        Self {
+            entry: body,
+            entry_version: version,
+            ..Self::blank("store_entry")
+        }
+    }
+
+    /// A `"store_ok"` reply acknowledging an accepted `"store_put"`.
+    pub fn store_ok() -> Self {
+        Self::blank("store_ok")
+    }
+
+    /// A `"store_stats"` reply.
+    pub fn store_stats(report: StoreReport) -> Self {
+        Self {
+            store: Some(report),
+            ..Self::blank("store_stats")
         }
     }
 
@@ -414,15 +487,24 @@ pub struct StoreReport {
     pub infeasible: u64,
     /// Unreadable or schema-mismatched entries.
     pub corrupt: u64,
-    /// Total bytes across all entries.
+    /// Entries still in the `v1` (plain JSON) container format.
+    pub v1_entries: u64,
+    /// Entries in the current `v2` (compressed) container format.
+    pub v2_entries: u64,
+    /// Physical bytes across all entries (compressed sizes for `v2`).
     pub total_bytes: u64,
-    /// Solves answered from disk this process.
+    /// Uncompressed bytes across all readable entry bodies.
+    pub logical_bytes: u64,
+    /// Solves answered from the local disk tier this process.
     pub disk_hits: u64,
-    /// Solves that missed both tiers this process.
+    /// Solves answered by a remote store peer this process.
+    pub remote_hits: u64,
+    /// Solves that missed every persistent tier this process.
     pub fresh_solves: u64,
     /// Results newly written to disk this process.
     pub stored: u64,
-    /// Results refused by the store's entry cap this process.
+    /// Entries ignored as corrupt, foreign-schema or colliding this
+    /// process.
     pub rejected: u64,
 }
 
@@ -440,8 +522,12 @@ impl StoreReport {
             feasible: summary.feasible,
             infeasible: summary.infeasible,
             corrupt: summary.corrupt,
+            v1_entries: summary.v1_entries,
+            v2_entries: summary.v2_entries,
             total_bytes: summary.total_bytes,
+            logical_bytes: summary.logical_bytes,
             disk_hits: stats.disk_hits,
+            remote_hits: stats.remote_hits,
             fresh_solves: stats.fresh_solves,
             stored: stats.stored,
             rejected: stats.rejected,
@@ -460,6 +546,17 @@ impl StoreReport {
             store.stats(),
         )
     }
+}
+
+/// Counters of the daemon's connection-level admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Client sessions currently connected.
+    pub active: u64,
+    /// Maximum concurrent sessions accepted before reject-at-accept.
+    pub limit: u64,
+    /// Connections refused because the session limit was reached.
+    pub rejected: u64,
 }
 
 /// The machine-readable stats object.
@@ -481,6 +578,8 @@ pub struct StatsSnapshot {
     pub cache: Option<CacheStats>,
     /// Persistent-store view, when a store is attached.
     pub store: Option<StoreReport>,
+    /// Connection-admission counters, when a daemon produced the snapshot.
+    pub sessions: Option<SessionStats>,
 }
 
 impl StatsSnapshot {
@@ -492,6 +591,7 @@ impl StatsSnapshot {
             engine: None,
             cache: None,
             store: None,
+            sessions: None,
         }
     }
 
@@ -576,6 +676,9 @@ mod tests {
             Request::run_builtin("smoke", 4),
             Request::run_suite(sample_suite(), 2),
             Request::stats(),
+            Request::store_get("00ff00ff00ff00ff"),
+            Request::store_put("{\"schema\":2}\n".to_string()),
+            Request::store_stats(),
             Request::shutdown(),
         ];
         let mut buffer = Vec::new();
@@ -600,6 +703,9 @@ mod tests {
             Reply::point("single", None, false),
             Reply::report(report_text.to_string(), Some("1 failure".to_string())),
             Reply::stats(StatsSnapshot::new()),
+            Reply::store_entry(Some("{\"schema\":2}\n".to_string()), Some(2)),
+            Reply::store_entry(None, None),
+            Reply::store_ok(),
             Reply::bye(),
             Reply::error("unknown kind"),
         ];
@@ -647,16 +753,32 @@ mod tests {
                 feasible: 4,
                 infeasible: 2,
                 corrupt: 0,
+                v1_entries: 1,
+                v2_entries: 5,
                 total_bytes: 4096,
+                logical_bytes: 9000,
                 disk_hits: 3,
+                remote_hits: 1,
                 fresh_solves: 6,
                 stored: 6,
                 rejected: 0,
+            }),
+            sessions: Some(SessionStats {
+                active: 2,
+                limit: 64,
+                rejected: 1,
             }),
         };
         let text = full.to_json();
         assert!(text.ends_with('\n'));
         assert_eq!(StatsSnapshot::from_json(&text).unwrap(), full);
+
+        // A v1-era snapshot (no sessions section, no tier fields) still
+        // decodes: missing optional fields are `None`/zero, not errors.
+        let legacy = "{\"schema\":1,\"queue\":null,\"engine\":null,\"cache\":null,\"store\":null}";
+        let decoded = StatsSnapshot::from_json(legacy).unwrap();
+        assert_eq!(decoded.schema, 1);
+        assert!(decoded.sessions.is_none());
     }
 
     #[test]

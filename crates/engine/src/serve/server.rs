@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use super::protocol::{EngineStats, StatsSnapshot, StoreReport};
+use super::protocol::{send_reply, EngineStats, Reply, SessionStats, StatsSnapshot, StoreReport};
 use super::queue::SubmissionQueue;
 use super::session::handle_connection;
 use crate::cache::SolveCache;
@@ -36,6 +36,11 @@ pub struct ServeConfig {
     pub queue_capacity: u64,
     /// Back-off hint attached to `"rejected"` replies, in milliseconds.
     pub retry_after_ms: u64,
+    /// Maximum concurrent client sessions. Connections beyond the cap are
+    /// refused *at accept* with a `"rejected"` reply — flood protection in
+    /// front of the submission queue, so a connection storm cannot pile up
+    /// session threads.
+    pub max_sessions: u64,
     /// Optional persistent store backing the shared cache.
     pub store: Option<SolveStore>,
 }
@@ -47,6 +52,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 32,
             retry_after_ms: 250,
+            max_sessions: 64,
             store: None,
         }
     }
@@ -69,12 +75,19 @@ pub(crate) struct ServiceState {
     pub(crate) retry_after_ms: u64,
     pub(crate) tickets: AtomicU64,
     pub(crate) clients: AtomicU64,
+    /// Sessions currently connected (incremented by the accept loop
+    /// *before* the session thread spawns, decremented when the session
+    /// ends — so the cap check is race-free under serial accepts).
+    pub(crate) active_sessions: AtomicU64,
+    /// Connections refused by the session cap.
+    pub(crate) session_rejects: AtomicU64,
+    pub(crate) max_sessions: u64,
     local_addr: SocketAddr,
 }
 
 impl ServiceState {
-    /// The machine-readable stats object: all four sections are present
-    /// on a server (the store section only when one is attached).
+    /// The machine-readable stats object: every section is present on a
+    /// server (the store section only when one is attached).
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             queue: Some(self.queue.stats()),
@@ -83,6 +96,11 @@ impl ServiceState {
             }),
             cache: Some(self.cache.stats()),
             store: self.cache.store().map(StoreReport::for_store),
+            sessions: Some(SessionStats {
+                active: self.active_sessions.load(Ordering::Relaxed),
+                limit: self.max_sessions,
+                rejected: self.session_rejects.load(Ordering::Relaxed),
+            }),
             ..StatsSnapshot::new()
         }
     }
@@ -131,6 +149,9 @@ impl Server {
             retry_after_ms: config.retry_after_ms,
             tickets: AtomicU64::new(0),
             clients: AtomicU64::new(0),
+            active_sessions: AtomicU64::new(0),
+            session_rejects: AtomicU64::new(0),
+            max_sessions: config.max_sessions,
             local_addr,
         });
 
@@ -167,19 +188,47 @@ impl Server {
                         if state.shutdown.load(Ordering::Acquire) {
                             break;
                         }
-                        let stream = match stream {
+                        let mut stream = match stream {
                             Ok(stream) => stream,
                             Err(_) => continue,
                         };
+                        // Reject-at-accept: the accept loop is serial, so
+                        // checking and incrementing here (before the spawn)
+                        // is race-free — a flood can never overshoot the
+                        // cap by more than the one connection being judged.
+                        if state.active_sessions.load(Ordering::Relaxed) >= state.max_sessions {
+                            state.session_rejects.fetch_add(1, Ordering::Relaxed);
+                            let reply =
+                                Reply::rejected("session limit reached", state.retry_after_ms);
+                            // Bounded courtesy write: a reject must never
+                            // let a slow-reading client stall the accepts.
+                            let _ =
+                                stream.set_write_timeout(Some(std::time::Duration::from_secs(1)));
+                            let _ = send_reply(&mut stream, &reply);
+                            continue;
+                        }
+                        state.active_sessions.fetch_add(1, Ordering::Relaxed);
                         let session_state = Arc::clone(&state);
                         let handle = std::thread::Builder::new()
                             .name("bbs-serve-session".to_string())
-                            .spawn(move || handle_connection(stream, session_state));
-                        if let Ok(handle) = handle {
-                            sessions
-                                .lock()
-                                .expect("session registry poisoned")
-                                .push(handle);
+                            .spawn(move || {
+                                handle_connection(stream, Arc::clone(&session_state));
+                                session_state
+                                    .active_sessions
+                                    .fetch_sub(1, Ordering::Relaxed);
+                            });
+                        match handle {
+                            Ok(handle) => {
+                                sessions
+                                    .lock()
+                                    .expect("session registry poisoned")
+                                    .push(handle);
+                            }
+                            // The thread never started, so its decrement
+                            // never runs; undo the optimistic increment.
+                            Err(_) => {
+                                state.active_sessions.fetch_sub(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 })?
@@ -242,6 +291,55 @@ mod tests {
         assert_eq!(stats.queue.map(|q| q.capacity), Some(32));
         assert_eq!(stats.engine.map(|e| e.workers), Some(4));
         assert!(stats.store.is_none());
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn session_cap_rejects_at_accept_and_recovers() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            max_sessions: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+
+        // First client occupies the only session slot (a round trip
+        // proves its session thread is up, not just queued at accept).
+        let mut first = TcpStream::connect(addr).unwrap();
+        send_request(&mut first, &Request::stats()).unwrap();
+        let stats = read_reply(&mut first).unwrap().unwrap();
+        assert_eq!(stats.kind, "stats");
+        let sessions = stats.stats.unwrap().sessions.unwrap();
+        assert_eq!(sessions.active, 1);
+        assert_eq!(sessions.limit, 1);
+
+        // Second client is refused before any request is read.
+        let mut second = TcpStream::connect(addr).unwrap();
+        let refusal = read_reply(&mut second).unwrap().unwrap();
+        assert_eq!(refusal.kind, "rejected");
+        assert_eq!(refusal.message.as_deref(), Some("session limit reached"));
+        assert!(refusal.retry_after_ms.is_some());
+        assert_eq!(server.stats().sessions.unwrap().rejected, 1);
+
+        // Releasing the slot lets a later client in (poll: the decrement
+        // races the close notification).
+        drop(first);
+        let mut admitted = false;
+        for _ in 0..100 {
+            let mut third = TcpStream::connect(addr).unwrap();
+            send_request(&mut third, &Request::stats()).unwrap();
+            match read_reply(&mut third) {
+                Ok(Some(reply)) if reply.kind == "stats" => {
+                    admitted = true;
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+        assert!(admitted, "slot must free up after the first client leaves");
+
         server.shutdown();
         server.wait();
     }

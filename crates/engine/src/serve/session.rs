@@ -13,11 +13,12 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use super::protocol::{read_frame_interruptible, send_reply, Reply, Request};
+use super::protocol::{read_frame_interruptible, send_reply, Reply, Request, StoreReport};
 use super::queue::Admission;
 use super::server::{ServiceState, Submission};
 use crate::report::SuiteReport;
 use crate::scenario::Suite;
+use crate::store::is_entry_address;
 use crate::suites::builtin_suite;
 
 /// How long an idle read waits before re-checking the shutdown flag.
@@ -48,6 +49,18 @@ pub(crate) fn handle_connection(mut stream: TcpStream, state: Arc<ServiceState>)
         let keep_going = match request.kind.as_str() {
             "run" => handle_run(&mut stream, &state, client_id, request),
             "stats" => send_reply(&mut stream, &Reply::stats(state.snapshot())).is_ok(),
+            // Store-peer requests are answered inline by the session
+            // thread: they are pure I/O against the shared store and must
+            // not wait behind queued solve submissions.
+            "store_get" => send_reply(&mut stream, &handle_store_get(&state, &request)).is_ok(),
+            "store_put" => send_reply(&mut stream, &handle_store_put(&state, &request)).is_ok(),
+            "store_stats" => {
+                let reply = match state.cache.store() {
+                    Some(store) => Reply::store_stats(StoreReport::for_store(store)),
+                    None => Reply::error("server has no persistent store attached"),
+                };
+                send_reply(&mut stream, &reply).is_ok()
+            }
             "shutdown" => {
                 let _ = send_reply(&mut stream, &Reply::bye());
                 state.initiate_shutdown();
@@ -55,7 +68,8 @@ pub(crate) fn handle_connection(mut stream: TcpStream, state: Arc<ServiceState>)
             }
             other => {
                 let reply = Reply::error(&format!(
-                    "unknown request kind {other:?} (expected run, stats or shutdown)"
+                    "unknown request kind {other:?} (expected run, stats, store_get, \
+                     store_put, store_stats or shutdown)"
                 ));
                 send_reply(&mut stream, &reply).is_ok()
             }
@@ -136,6 +150,40 @@ fn handle_run(
     };
     let report = SuiteReport::from_outcome(&outcome);
     send_reply(stream, &Reply::report(report.to_json(), message)).is_ok()
+}
+
+/// Answers one `"store_get"`: the entry body at the requested address, or
+/// a bodiless `"store_entry"` on a miss. Peer lookups never touch the
+/// store's solve counters — they are the *peer's* solves, not this
+/// daemon's.
+fn handle_store_get(state: &ServiceState, request: &Request) -> Reply {
+    let Some(store) = state.cache.store() else {
+        return Reply::error("server has no persistent store attached");
+    };
+    let Some(address) = request.key_hash.as_deref().filter(|a| is_entry_address(a)) else {
+        return Reply::error("store_get needs key_hash: 16 lowercase hex digits");
+    };
+    match store.peer_get(address) {
+        Ok(Some(raw)) => Reply::store_entry(Some(raw.body), Some(raw.version)),
+        Ok(None) => Reply::store_entry(None, None),
+        Err(e) => Reply::error(&format!("store read failed: {e}")),
+    }
+}
+
+/// Answers one `"store_put"`: validate the offered body and persist it
+/// through the store's capped write path. The address is derived from the
+/// body's embedded key — a peer's claimed address is never trusted.
+fn handle_store_put(state: &ServiceState, request: &Request) -> Reply {
+    let Some(store) = state.cache.store() else {
+        return Reply::error("server has no persistent store attached");
+    };
+    let Some(body) = request.entry.as_deref() else {
+        return Reply::error("store_put needs an entry body");
+    };
+    match store.peer_put(body) {
+        Ok(()) => Reply::store_ok(),
+        Err(message) => Reply::error(&format!("store_put refused: {message}")),
+    }
 }
 
 /// Picks the suite a `"run"` request addresses: an inline definition XOR

@@ -1,0 +1,328 @@
+//! [`RemoteBackend`]: a store tier that speaks the serve protocol to a
+//! peer `bbs serve` daemon.
+//!
+//! The backend layers *under* the local directory tier as a read-through /
+//! write-behind cache of last resort:
+//!
+//! * **read-through** — a local miss asks the peer with a `store_get`
+//!   request; on a hit the body is validated exactly like a local entry
+//!   (full-key comparison included) and written back into the local tier,
+//!   so the next run hits locally.
+//! * **write-behind** — fresh solves return as soon as the local write
+//!   lands; a background writer thread ships `store_put` requests to the
+//!   peer afterwards, each acknowledged, over its own connection. Dropping
+//!   the backend (end of run) joins the writer, so a finished process has
+//!   durably handed everything to the peer.
+//!
+//! Failure policy: the remote tier is strictly best-effort. The first
+//! unrecoverable transport error (one reconnect is attempted) marks the
+//! backend **broken**; every later operation fails fast without touching
+//! the network, and the run continues on the local tier alone. A broken or
+//! absent peer can cost fresh solves, never wrong answers — and because
+//! remote lookups happen only on the in-memory tier's claimer path, the
+//! report byte-identity invariants hold with or without the tier.
+//!
+//! Management scans ([`list`](StoreBackend::list), [`clear`](StoreBackend::clear),
+//! …) are [`io::ErrorKind::Unsupported`]: retention runs where the data
+//! lives, on the peer.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use super::backend::{RawEntry, StoreBackend, StoreEntry, STORE_SCHEMA_VERSION};
+use crate::serve::protocol::{read_reply, send_request, Reply, Request, StoreReport};
+
+/// Queued-but-unsent `store_put` bodies the writer thread will buffer
+/// before [`StoreBackend::put`] starts dropping (best-effort, counted).
+const WRITE_BEHIND_CAPACITY: usize = 1024;
+
+/// A solve-store tier backed by a peer `bbs serve` daemon.
+///
+/// See the [module docs](self) for the tiering and failure story. Attach
+/// one with [`SolveStore::with_remote`](crate::SolveStore::with_remote);
+/// build one with [`RemoteBackend::connect`].
+#[derive(Debug)]
+pub struct RemoteBackend {
+    addr: String,
+    /// The synchronous request connection (`store_get`, `store_stats`).
+    /// `None` between a transport error and the reconnect attempt.
+    conn: Mutex<Option<TcpStream>>,
+    /// Raised on the first unrecoverable failure; everything fails fast
+    /// afterwards so a dead peer costs one timeout, not one per key.
+    broken: AtomicBool,
+    /// `store_put` bodies dropped because the write-behind queue was full.
+    dropped_puts: AtomicU64,
+    writer: Mutex<Option<WriteBehind>>,
+}
+
+#[derive(Debug)]
+struct WriteBehind {
+    sender: mpsc::SyncSender<(String, String)>,
+    handle: JoinHandle<()>,
+}
+
+impl RemoteBackend {
+    /// Connects to a peer daemon at `addr` (e.g. `127.0.0.1:4780`).
+    ///
+    /// The synchronous connection is established eagerly so a mistyped
+    /// address fails the command instead of silently degrading every
+    /// lookup; the write-behind thread opens its own connection lazily on
+    /// the first queued put.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connection error.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            addr: addr.to_string(),
+            conn: Mutex::new(Some(stream)),
+            broken: AtomicBool::new(false),
+            dropped_puts: AtomicU64::new(0),
+            writer: Mutex::new(None),
+        })
+    }
+
+    /// The peer address this backend talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many write-behind puts were dropped because the queue was full
+    /// or the peer broke. Diagnostic only — drops cost the *peer* warmth,
+    /// never local correctness.
+    pub fn dropped_puts(&self) -> u64 {
+        self.dropped_puts.load(Ordering::Relaxed)
+    }
+
+    /// Asks the peer for its store view via a `store_stats` request.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an `"error"` reply (e.g. the peer serves
+    /// without a store).
+    pub fn peer_stats(&self) -> io::Result<StoreReport> {
+        let reply = self.request(&Request::store_stats())?;
+        match reply.kind.as_str() {
+            "store_stats" => reply.store.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "store_stats reply carried no store section",
+                )
+            }),
+            _ => Err(reply_error(&reply)),
+        }
+    }
+
+    /// Flushes the write-behind queue: blocks until every queued put has
+    /// been acknowledged by the peer (or the writer broke). Dropping the
+    /// backend flushes implicitly.
+    pub fn flush(&self) {
+        let taken = self
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(writer) = taken {
+            drop(writer.sender);
+            let _ = writer.handle.join();
+        }
+    }
+
+    /// One request/reply round trip on the synchronous connection, with a
+    /// single reconnect attempt on transport failure. Marks the backend
+    /// broken when both attempts fail.
+    fn request(&self, request: &Request) -> io::Result<Reply> {
+        if self.broken.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("remote store {} is marked broken", self.addr),
+            ));
+        }
+        let mut guard = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
+        for attempt in 0..2 {
+            if guard.is_none() {
+                match TcpStream::connect(&self.addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        *guard = Some(stream);
+                    }
+                    Err(e) => {
+                        self.broken.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                }
+            }
+            let stream = guard.as_mut().expect("connection just ensured");
+            match round_trip(stream, request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    *guard = None;
+                    if attempt == 1 {
+                        self.broken.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("the second attempt returned")
+    }
+
+    /// The writer-thread sender, spawning the thread on first use.
+    fn writer_sender(&self) -> io::Result<mpsc::SyncSender<(String, String)>> {
+        let mut guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.is_none() {
+            let (sender, receiver) = mpsc::sync_channel(WRITE_BEHIND_CAPACITY);
+            let addr = self.addr.clone();
+            let handle = std::thread::Builder::new()
+                .name("bbs-store-write-behind".to_string())
+                .spawn(move || write_behind_loop(&addr, receiver))?;
+            *guard = Some(WriteBehind { sender, handle });
+        }
+        Ok(guard.as_ref().expect("writer just ensured").sender.clone())
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The write-behind thread: its own connection, one acknowledged
+/// `store_put` per queued body, one reconnect attempt per failure. After
+/// an unrecoverable failure the rest of the queue is drained and dropped —
+/// best-effort, by design.
+fn write_behind_loop(addr: &str, receiver: mpsc::Receiver<(String, String)>) {
+    let mut conn: Option<TcpStream> = None;
+    let mut broken = false;
+    for (_address, body) in receiver {
+        if broken {
+            continue;
+        }
+        let request = Request::store_put(body);
+        let mut delivered = false;
+        for attempt in 0..2 {
+            if conn.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        conn = Some(stream);
+                    }
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connection just ensured");
+            match round_trip(stream, &request) {
+                // Any decoded reply is an acknowledgement; an `"error"`
+                // reply means the peer refused this body (e.g. it failed
+                // validation) — retrying cannot help, move on.
+                Ok(_) => {
+                    delivered = true;
+                    break;
+                }
+                Err(_) => {
+                    conn = None;
+                    if attempt == 1 {
+                        broken = true;
+                    }
+                }
+            }
+        }
+        let _ = delivered;
+    }
+}
+
+/// Sends one request and reads one reply; a clean EOF is an error here —
+/// the peer must answer every store request.
+fn round_trip(stream: &mut TcpStream, request: &Request) -> io::Result<Reply> {
+    send_request(stream, request)?;
+    read_reply(stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed the connection before replying",
+        )
+    })
+}
+
+fn reply_error(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        match &reply.message {
+            Some(message) => format!("peer refused store request: {message}"),
+            None => format!("unexpected {:?} reply to a store request", reply.kind),
+        },
+    )
+}
+
+fn unsupported(operation: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!("remote store tier does not support {operation}; manage the store on the peer"),
+    )
+}
+
+impl StoreBackend for RemoteBackend {
+    fn describe(&self) -> String {
+        format!("remote peer {}", self.addr)
+    }
+
+    fn get(&self, address: &str) -> io::Result<Option<RawEntry>> {
+        let reply = self.request(&Request::store_get(address))?;
+        match reply.kind.as_str() {
+            "store_entry" => Ok(reply.entry.map(|body| RawEntry {
+                version: reply.entry_version.unwrap_or(STORE_SCHEMA_VERSION),
+                body,
+            })),
+            _ => {
+                // A peer that answers but refuses (no store attached, bad
+                // address) will refuse every key; stop asking.
+                self.broken.store(true, Ordering::Release);
+                Err(reply_error(&reply))
+            }
+        }
+    }
+
+    fn put(&self, address: &str, body: &str) -> io::Result<u64> {
+        if self.broken.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("remote store {} is marked broken", self.addr),
+            ));
+        }
+        let sender = self.writer_sender()?;
+        match sender.try_send((address.to_string(), body.to_string())) {
+            Ok(()) => Ok(body.len() as u64),
+            Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.dropped_puts.fetch_add(1, Ordering::Relaxed);
+                Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "write-behind queue full; put dropped",
+                ))
+            }
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<StoreEntry>> {
+        Err(unsupported("list"))
+    }
+
+    fn read_body(&self, _entry: &StoreEntry) -> io::Result<RawEntry> {
+        Err(unsupported("read_body"))
+    }
+
+    fn remove(&self, _entry: &StoreEntry) -> io::Result<bool> {
+        Err(unsupported("remove"))
+    }
+
+    fn clear(&self) -> io::Result<u64> {
+        Err(unsupported("clear"))
+    }
+}

@@ -117,14 +117,16 @@ fn corrupt_and_foreign_version_entries_fall_back_to_fresh_solves() {
     let stored = cache.store().unwrap().stats().stored;
     assert!(stored > 0);
 
-    // Garble one entry and stamp another with a foreign schema version.
+    // Garble one entry and stamp another with a foreign schema version —
+    // decompressing and recompressing the v2 container around the edit.
     let entries = cache.store().unwrap().entries().unwrap();
     assert_eq!(entries.len() as u64, stored);
     fs::write(&entries[0].path, "{truncated garbage").unwrap();
-    let text = fs::read_to_string(&entries[1].path).unwrap();
+    let text = String::from_utf8(minilz::decompress(&fs::read(&entries[1].path).unwrap()).unwrap())
+        .unwrap();
     fs::write(
         &entries[1].path,
-        text.replace("\"schema\":1", "\"schema\":999"),
+        minilz::compress(text.replace("\"schema\":2", "\"schema\":999").as_bytes()),
     )
     .unwrap();
 
@@ -179,6 +181,7 @@ fn gc_retention_is_enforced() {
         .gc(GcPolicy {
             max_entries: Some(3),
             max_age: None,
+            max_bytes: None,
         })
         .unwrap();
     assert_eq!(outcome.removed, 5);
@@ -366,10 +369,11 @@ fn cache_stats_json_emits_the_shared_stats_snapshot() {
     // The output is the serve protocol's stats object — same serializer,
     // same schema — restricted to the store section an offline CLI has.
     let snapshot = StatsSnapshot::from_json(&text).expect("stats --json parses");
-    assert_eq!(snapshot.schema, 1);
+    assert_eq!(snapshot.schema, 2);
     assert!(snapshot.queue.is_none());
     assert!(snapshot.engine.is_none());
     assert!(snapshot.cache.is_none());
+    assert!(snapshot.sessions.is_none());
     let store = snapshot.store.expect("store section present");
     assert_eq!(store.entries, 8);
     assert_eq!(store.feasible, 8);
@@ -377,8 +381,14 @@ fn cache_stats_json_emits_the_shared_stats_snapshot() {
     assert_eq!(store.corrupt, 0);
     assert!(store.total_bytes > 0);
     assert!(store.directory.ends_with("cache"));
+    // A freshly-written store is all-v2, and the logical (uncompressed)
+    // size is tracked separately from the on-disk size.
+    assert_eq!(store.v1_entries, 0);
+    assert_eq!(store.v2_entries, 8);
+    assert!(store.logical_bytes > 0);
     // This invocation only scanned; it moved no traffic.
     assert_eq!(store.disk_hits, 0);
     assert_eq!(store.fresh_solves, 0);
     assert_eq!(store.stored, 0);
+    assert_eq!(store.remote_hits, 0);
 }

@@ -1,0 +1,350 @@
+//! Small, self-contained, deterministic LZ-style codec.
+//!
+//! This crate exists so the bbs solve store can compress entry bodies without
+//! pulling a real compression crate into the offline build. It implements a
+//! classic byte-oriented LZSS scheme:
+//!
+//! - a 4-byte magic header (`MLZ1`) followed by the raw (decompressed) length
+//!   as a little-endian `u32`,
+//! - then a token stream of control bytes, each carrying eight flags (LSB
+//!   first): flag `0` introduces one literal byte, flag `1` introduces a
+//!   back-reference encoded as a little-endian `u16` distance (1..=65535)
+//!   plus one length byte (match length = byte + 4, i.e. 4..=259).
+//!
+//! The compressor is greedy with a single-slot hash table over 4-byte
+//! prefixes, which keeps it fast and — more importantly for the store's
+//! byte-identity invariants — a pure function of its input: the same bytes
+//! always compress to the same frame on every platform.
+//!
+//! `decompress` is strict: it refuses bad magic, truncated streams, invalid
+//! distances, and frames whose token stream does not reproduce exactly the
+//! advertised raw length. Corrupt store entries must surface as errors, not
+//! as silently wrong bytes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Frame magic identifying a minilz stream (`MLZ1`).
+pub const MAGIC: [u8; 4] = *b"MLZ1";
+
+/// Number of bytes in the frame header (magic + raw length).
+pub const HEADER_BYTES: usize = 8;
+
+/// Maximum raw payload size accepted by [`compress`] (the length field is a
+/// `u32`). 256 MiB is far beyond any store entry body.
+pub const MAX_RAW_BYTES: usize = 256 * 1024 * 1024;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 259;
+const MAX_DISTANCE: usize = 65_535;
+const HASH_BITS: u32 = 15;
+
+/// Decoding failure. The payload did not parse as a well-formed minilz frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input is shorter than the 8-byte frame header.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The token stream ended before producing the advertised raw length.
+    UnexpectedEof,
+    /// A back-reference pointed before the start of the output.
+    BadDistance,
+    /// The token stream produced more bytes than the advertised raw length.
+    Overrun,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "minilz: input shorter than frame header"),
+            Error::BadMagic => write!(f, "minilz: bad frame magic"),
+            Error::UnexpectedEof => write!(f, "minilz: token stream truncated"),
+            Error::BadDistance => write!(f, "minilz: back-reference before start of output"),
+            Error::Overrun => write!(f, "minilz: token stream exceeds advertised length"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `raw` into a self-framed minilz stream.
+///
+/// Deterministic: equal inputs always yield equal outputs. Incompressible
+/// input grows by the 8-byte header plus one control bit per byte (~12.5%).
+///
+/// # Panics
+///
+/// Panics if `raw` exceeds [`MAX_RAW_BYTES`]; store entry bodies are orders
+/// of magnitude smaller, so this is a programming error, not a data error.
+#[must_use]
+pub fn compress(raw: &[u8]) -> Vec<u8> {
+    assert!(
+        raw.len() <= MAX_RAW_BYTES,
+        "minilz: payload of {} bytes exceeds MAX_RAW_BYTES",
+        raw.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_BYTES + raw.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+
+    // Single-slot hash table mapping a 4-byte-prefix hash to the most recent
+    // position it was seen at. usize::MAX marks an empty slot.
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+
+    let mut pos = 0usize;
+    let mut control_at = usize::MAX; // index of the pending control byte in `out`
+    let mut control_bits = 8u8; // bits already consumed in the pending control byte
+
+    let mut push_flag = |out: &mut Vec<u8>, bit: bool| {
+        if control_bits == 8 {
+            control_at = out.len();
+            out.push(0);
+            control_bits = 0;
+        }
+        if bit {
+            out[control_at] |= 1 << control_bits;
+        }
+        control_bits += 1;
+    };
+
+    while pos < raw.len() {
+        let remaining = raw.len() - pos;
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if remaining >= MIN_MATCH {
+            let h = hash4(&raw[pos..]);
+            let candidate = table[h];
+            table[h] = pos;
+            if candidate != usize::MAX && pos - candidate <= MAX_DISTANCE {
+                let dist = pos - candidate;
+                let limit = remaining.min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < limit && raw[candidate + len] == raw[pos + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    best_len = len;
+                    best_dist = dist;
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            push_flag(&mut out, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Seed the table with the positions the match skips over so later
+            // data can still reference them.
+            let end = pos + best_len;
+            let mut p = pos + 1;
+            while p < end && p + MIN_MATCH <= raw.len() {
+                table[hash4(&raw[p..])] = p;
+                p += 1;
+            }
+            pos = end;
+        } else {
+            push_flag(&mut out, false);
+            out.push(raw[pos]);
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompress a minilz frame produced by [`compress`].
+///
+/// Strictly validates the frame: magic, length, token-stream shape, and
+/// back-reference distances. Returns the original bytes on success.
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, Error> {
+    if frame.len() < HEADER_BYTES {
+        return Err(Error::Truncated);
+    }
+    if frame[..4] != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let raw_len = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]) as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = HEADER_BYTES;
+    let mut control = 0u8;
+    let mut control_bits = 0u8;
+    while out.len() < raw_len {
+        if control_bits == 0 {
+            control = *frame.get(pos).ok_or(Error::UnexpectedEof)?;
+            pos += 1;
+            control_bits = 8;
+        }
+        let is_match = control & 1 == 1;
+        control >>= 1;
+        control_bits -= 1;
+        if is_match {
+            if pos + 3 > frame.len() {
+                return Err(Error::UnexpectedEof);
+            }
+            let dist = u16::from_le_bytes([frame[pos], frame[pos + 1]]) as usize;
+            let len = frame[pos + 2] as usize + MIN_MATCH;
+            pos += 3;
+            if dist == 0 || dist > out.len() {
+                return Err(Error::BadDistance);
+            }
+            if out.len() + len > raw_len {
+                return Err(Error::Overrun);
+            }
+            let start = out.len() - dist;
+            // Byte-at-a-time: overlapping back-references (dist < len) are
+            // legal and reproduce the run-length-style repetition.
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        } else {
+            let b = *frame.get(pos).ok_or(Error::UnexpectedEof)?;
+            pos += 1;
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(raw: &[u8]) {
+        let frame = compress(raw);
+        assert_eq!(decompress(&frame).as_deref(), Ok(raw));
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let frame = compress(b"");
+        assert_eq!(frame.len(), HEADER_BYTES);
+        round_trip(b"");
+    }
+
+    #[test]
+    fn short_and_incompressible_round_trip() {
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+        let unique: Vec<u8> = (0..=255u8).collect();
+        round_trip(&unique);
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let raw: Vec<u8> = b"{\"schema\":1,\"fingerprint\":\"abc\"}"
+            .iter()
+            .cycle()
+            .take(8 * 1024)
+            .copied()
+            .collect();
+        let frame = compress(&raw);
+        assert!(
+            frame.len() < raw.len() / 4,
+            "repetitive JSON should compress well: {} -> {}",
+            raw.len(),
+            frame.len()
+        );
+        assert_eq!(decompress(&frame).unwrap(), raw);
+    }
+
+    #[test]
+    fn overlapping_match_round_trips() {
+        // A long single-byte run forces dist=1 overlapping copies.
+        let raw = vec![0x5Au8; 10_000];
+        round_trip(&raw);
+        // Period-3 run: dist=3 overlap.
+        let raw: Vec<u8> = b"xyz".iter().cycle().take(5_000).copied().collect();
+        round_trip(&raw);
+    }
+
+    #[test]
+    fn deterministic() {
+        let raw: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 251) as u8).collect();
+        assert_eq!(compress(&raw), compress(&raw));
+    }
+
+    #[test]
+    fn pseudo_random_payloads_round_trip() {
+        // Deterministic xorshift stream; mixes compressible and not.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for size in [1usize, 2, 7, 64, 1000, 65_536, 200_000] {
+            let mut raw = Vec::with_capacity(size);
+            while raw.len() < size {
+                let word = next();
+                // Bias towards small byte values so matches do occur.
+                raw.push((word % 17) as u8);
+                if raw.len() < size {
+                    raw.push((word >> 32) as u8);
+                }
+            }
+            raw.truncate(size);
+            round_trip(&raw);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(decompress(b""), Err(Error::Truncated));
+        assert_eq!(decompress(b"MLZ"), Err(Error::Truncated));
+        let mut frame = compress(b"hello hello hello hello");
+        frame[0] = b'X';
+        assert_eq!(decompress(&frame), Err(Error::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_token_stream() {
+        let raw: Vec<u8> = b"hello hello hello hello hello".to_vec();
+        let frame = compress(&raw);
+        for cut in HEADER_BYTES..frame.len() {
+            let err = decompress(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::UnexpectedEof | Error::Overrun | Error::BadDistance
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_distance() {
+        // Hand-built frame: claims 4 raw bytes, first token is a match with
+        // dist=5 into an empty output buffer.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&4u32.to_le_bytes());
+        frame.push(0b0000_0001); // control: first flag = match
+        frame.extend_from_slice(&5u16.to_le_bytes());
+        frame.push(0); // length 4
+        assert_eq!(decompress(&frame), Err(Error::BadDistance));
+    }
+
+    #[test]
+    fn rejects_overrun() {
+        // Claims 2 raw bytes but encodes a literal pair then a 4-byte match.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&3u32.to_le_bytes());
+        frame.push(0b0000_0100); // literal, literal, match
+        frame.push(b'a');
+        frame.push(b'b');
+        frame.extend_from_slice(&1u16.to_le_bytes());
+        frame.push(0); // length 4 -> 2 + 4 > 3
+        assert_eq!(decompress(&frame), Err(Error::Overrun));
+    }
+}
