@@ -16,8 +16,9 @@
 //!                [--recompress])
 //!           [--cache-dir DIR]
 //! bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
-//!           [--retry-after-ms MS] [--max-sessions N] [--cache-dir DIR]
-//!           [--cache-max-entries N] [--cache-max-bytes N]
+//!           [--retry-after-ms MS] [--max-sessions N] [--idle-timeout-ms MS]
+//!           [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N]
+//!           [--remote-store HOST:PORT]
 //! bbs client (run | stats | shutdown | bench) --addr HOST:PORT [...]
 //! ```
 //!
@@ -53,14 +54,21 @@
 //! `serve` hosts the engine as a long-lived daemon: many concurrent
 //! clients share one worker pool and one cache/store through a bounded,
 //! fairness-scheduled submission queue (see `bbs_engine::serve`).
+//! `--idle-timeout-ms` reaps sessions whose client goes silent between
+//! requests; `--remote-store` (with `--cache-dir`) layers a peer daemon's
+//! store under the daemon's own, guarded by a self-healing circuit
+//! breaker.
 //! `client` is its counterpart: `run` submits a suite and receives a
-//! report byte-identical to a local `bbs run`, `stats` fetches the
-//! machine-readable counters (the same object `bbs cache stats --json`
-//! prints), `shutdown` asks the daemon to drain and exit, and `bench` is
-//! a load generator driving many concurrent submissions.
+//! report byte-identical to a local `bbs run` (`--retries` bounds
+//! automatic resubmission after structured rejections, `--deadline-ms`
+//! asks the server to cancel the submission if it has not finished in
+//! time), `stats` fetches the machine-readable counters (the same object
+//! `bbs cache stats --json` prints), `shutdown` asks the daemon to drain
+//! and exit, and `bench` is a load generator driving many concurrent
+//! submissions.
 
 use bbs_engine::report::render_timing_summary;
-use bbs_engine::serve::{read_reply, send_request, Reply, Request, StoreReport};
+use bbs_engine::serve::{read_reply, send_request, FaultPlan, Reply, Request, StoreReport};
 use bbs_engine::suites::{builtin_suite, builtin_suite_names};
 use bbs_engine::{
     expand_suite, generate_suite, run_suite_with_cache, Engine, GcPolicy, GenParams,
@@ -91,10 +99,11 @@ usage:
                  [--recompress])
             [--cache-dir DIR]
   bbs serve [--addr HOST:PORT] [--jobs N] [--queue-capacity N]
-            [--retry-after-ms MS] [--max-sessions N] [--cache-dir DIR]
-            [--cache-max-entries N] [--cache-max-bytes N]
+            [--retry-after-ms MS] [--max-sessions N] [--idle-timeout-ms MS]
+            [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N]
+            [--remote-store HOST:PORT]
   bbs client run --addr HOST:PORT [--suite NAME | --file PATH] [--jobs N]
-            [--json PATH] [--quiet]
+            [--retries N] [--deadline-ms MS] [--json PATH] [--quiet]
   bbs client (stats | shutdown) --addr HOST:PORT
   bbs client bench --addr HOST:PORT [--clients N] [--requests N]
             [--suite NAME] [--jobs N]
@@ -112,7 +121,11 @@ v2 container in place.
 work-stealing per-worker deques; `--fresh-executor` spawns per-run worker
 threads instead of the reusable pool (reports are identical either way).
 `serve` hosts the engine for many concurrent clients; `client run` fetches
-a report byte-identical to a local `bbs run` of the same suite.
+a report byte-identical to a local `bbs run` of the same suite, retrying
+up to `--retries` times (default 3) after structured rejections and
+optionally carrying a server-enforced `--deadline-ms`. `serve
+--idle-timeout-ms` reaps sessions whose client goes silent between
+requests.
 `validate` replays every solved mapping on the scheduler simulator and
 exits nonzero on measured throughput or capacity violations; its stdout
 summary is byte-identical across --jobs counts and executors. `gen` emits
@@ -871,9 +884,11 @@ struct ServeArgs {
     queue_capacity: u64,
     retry_after_ms: u64,
     max_sessions: u64,
+    idle_timeout_ms: Option<u64>,
     cache_dir: Option<String>,
     cache_max_entries: Option<u64>,
     cache_max_bytes: Option<u64>,
+    remote_store: Option<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -883,9 +898,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         queue_capacity: 32,
         retry_after_ms: 250,
         max_sessions: ServeConfig::default().max_sessions,
+        idle_timeout_ms: None,
         cache_dir: None,
         cache_max_entries: None,
         cache_max_bytes: None,
+        remote_store: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -925,6 +942,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--max-sessions must be at least 1, got `{raw}`"))?;
             }
+            "--idle-timeout-ms" => {
+                let raw = value("--idle-timeout-ms")?;
+                parsed.idle_timeout_ms = Some(
+                    raw.parse::<u64>()
+                        .ok()
+                        .filter(|&ms| ms >= 1)
+                        .ok_or_else(|| {
+                            format!("--idle-timeout-ms must be at least 1, got `{raw}`")
+                        })?,
+                );
+            }
             "--cache-dir" => parsed.cache_dir = Some(non_empty_dir(value("--cache-dir")?)?),
             "--cache-max-entries" => {
                 let raw = value("--cache-max-entries")?;
@@ -940,6 +968,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                         format!("--cache-max-bytes must be a byte count, got `{raw}`")
                     })?);
             }
+            "--remote-store" => parsed.remote_store = Some(value("--remote-store")?),
             other => return Err(format!("unknown flag `{other}` for `serve`\n{USAGE}")),
         }
     }
@@ -950,6 +979,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
 /// `bbs_engine::serve`). Blocks until a client sends `shutdown`.
 fn serve(args: &[String]) -> Result<(), String> {
     let args = parse_serve_args(args)?;
+    let remote_store = effective_remote_store(args.remote_store.as_deref());
     let store = match effective_cache_dir(args.cache_dir.as_deref()) {
         Some(dir) => {
             let mut store = open_store(&dir)?;
@@ -959,7 +989,15 @@ fn serve(args: &[String]) -> Result<(), String> {
             if let Some(budget) = effective_cache_max_bytes(args.cache_max_bytes)? {
                 store = store.with_max_bytes(budget);
             }
+            if let Some(addr) = &remote_store {
+                let remote = RemoteBackend::connect(addr)
+                    .map_err(|e| format!("cannot connect to remote store {addr}: {e}"))?;
+                store = store.with_remote(Box::new(remote));
+            }
             Some(store)
+        }
+        None if remote_store.is_some() => {
+            return Err("--remote-store needs a local cache directory (--cache-dir)".to_string());
         }
         None => None,
     };
@@ -970,6 +1008,9 @@ fn serve(args: &[String]) -> Result<(), String> {
         retry_after_ms: args.retry_after_ms,
         max_sessions: args.max_sessions,
         store,
+        idle_timeout: args.idle_timeout_ms.map(Duration::from_millis),
+        faults: FaultPlan::from_env()?.unwrap_or_default(),
+        ..ServeConfig::default()
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     println!("bbs serve: listening on {}", server.addr());
@@ -1016,6 +1057,8 @@ struct ClientRunArgs {
     suite: Option<String>,
     file: Option<String>,
     jobs: u64,
+    retries: u64,
+    deadline_ms: Option<u64>,
     json: Option<String>,
     quiet: bool,
 }
@@ -1026,6 +1069,8 @@ fn parse_client_run_args(args: &[String]) -> Result<ClientRunArgs, String> {
         suite: None,
         file: None,
         jobs: 1,
+        retries: 3,
+        deadline_ms: None,
         json: None,
         quiet: false,
     };
@@ -1048,6 +1093,21 @@ fn parse_client_run_args(args: &[String]) -> Result<ClientRunArgs, String> {
                     .filter(|&n| (1..=64).contains(&n))
                     .ok_or_else(|| format!("--jobs must be 1..=64, got `{raw}`"))?;
             }
+            "--retries" => {
+                let raw = value("--retries")?;
+                parsed.retries = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--retries must be a count, got `{raw}`"))?;
+            }
+            "--deadline-ms" => {
+                let raw = value("--deadline-ms")?;
+                parsed.deadline_ms = Some(
+                    raw.parse::<u64>()
+                        .ok()
+                        .filter(|&ms| ms >= 1)
+                        .ok_or_else(|| format!("--deadline-ms must be at least 1, got `{raw}`"))?,
+                );
+            }
             "--json" => parsed.json = Some(value("--json")?),
             "--quiet" => parsed.quiet = true,
             other => return Err(format!("unknown flag `{other}` for `client run`\n{USAGE}")),
@@ -1061,7 +1121,11 @@ fn parse_client_run_args(args: &[String]) -> Result<ClientRunArgs, String> {
 
 /// `bbs client run`: submit one suite, stream the progress, and write the
 /// returned report — byte-identical to a local `bbs run --json` of the
-/// same suite — with the same atomic write discipline.
+/// same suite — with the same atomic write discipline. Structured
+/// rejections are retried automatically up to `--retries` times (each
+/// sleeping the server's `retry_after_ms` hint), so transient back-
+/// pressure does not fail scripts; a `cancelled` reply (deadline, explicit
+/// cancel) is a nonzero exit carrying the server's reason.
 fn client_run(args: &[String]) -> Result<(), String> {
     let args = parse_client_run_args(args)?;
     let request = if let Some(path) = &args.file {
@@ -1072,9 +1136,14 @@ fn client_run(args: &[String]) -> Result<(), String> {
     } else {
         Request::run_builtin(args.suite.as_deref().unwrap_or("paper"), args.jobs)
     };
+    let request = match args.deadline_ms {
+        Some(ms) => request.with_deadline_ms(ms),
+        None => request,
+    };
     let mut stream = connect(args.addr.as_deref())?;
     send_request(&mut stream, &request).map_err(|e| format!("cannot submit: {e}"))?;
     let mut points = 0u64;
+    let mut rejections = 0u64;
     loop {
         let reply = next_reply(&mut stream)?;
         match reply.kind.as_str() {
@@ -1088,10 +1157,32 @@ fn client_run(args: &[String]) -> Result<(), String> {
                 }
             }
             "rejected" => {
+                let reason = reply
+                    .message
+                    .as_deref()
+                    .unwrap_or("no reason given")
+                    .to_string();
+                let wait = reply.retry_after_ms.unwrap_or(100);
+                if rejections >= args.retries {
+                    return Err(format!(
+                        "submission rejected: {reason} (retry after {wait} ms; gave up after \
+                         {rejections} retries)"
+                    ));
+                }
+                rejections += 1;
+                if !args.quiet {
+                    println!(
+                        "rejected ({reason}); retry {rejections}/{} in {wait} ms",
+                        args.retries
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(wait));
+                send_request(&mut stream, &request).map_err(|e| format!("cannot resubmit: {e}"))?;
+            }
+            "cancelled" => {
                 return Err(format!(
-                    "submission rejected: {} (retry after {} ms)",
-                    reply.message.as_deref().unwrap_or("no reason given"),
-                    reply.retry_after_ms.unwrap_or(0)
+                    "submission cancelled: {}",
+                    reply.message.as_deref().unwrap_or("no reason given")
                 ));
             }
             "point" => {
@@ -1371,6 +1462,34 @@ mod tests {
         assert_eq!(non_empty_dir("dir".to_string()).unwrap(), "dir");
         // A path with inner whitespace is a real path.
         assert!(non_empty_dir("my cache".to_string()).is_ok());
+    }
+
+    #[test]
+    fn client_run_args_parse_retry_and_deadline_flags() {
+        let parsed =
+            parse_client_run_args(&strings(&["--retries", "0", "--deadline-ms", "500"])).unwrap();
+        assert_eq!(parsed.retries, 0);
+        assert_eq!(parsed.deadline_ms, Some(500));
+        let default = parse_client_run_args(&[]).unwrap();
+        assert_eq!(default.retries, 3);
+        assert_eq!(default.deadline_ms, None);
+        assert!(parse_client_run_args(&strings(&["--deadline-ms", "0"])).is_err());
+        assert!(parse_client_run_args(&strings(&["--retries", "many"])).is_err());
+    }
+
+    #[test]
+    fn serve_args_parse_the_robustness_flags() {
+        let parsed = parse_serve_args(&strings(&[
+            "--idle-timeout-ms",
+            "250",
+            "--remote-store",
+            "127.0.0.1:9",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.idle_timeout_ms, Some(250));
+        assert_eq!(parsed.remote_store.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(parse_serve_args(&[]).unwrap().idle_timeout_ms, None);
+        assert!(parse_serve_args(&strings(&["--idle-timeout-ms", "0"])).is_err());
     }
 
     #[test]

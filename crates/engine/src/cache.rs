@@ -321,6 +321,19 @@ pub(crate) fn panicked_solve_error() -> MappingError {
     })
 }
 
+/// The placeholder error a cancelled run's unsolved work items retire
+/// with. It keeps the executor's slot accounting whole ("every work item
+/// reports exactly once") but is never reported: a run whose
+/// [`CancelToken`](crate::CancelToken) fired yields
+/// [`EngineError::Cancelled`](crate::EngineError::Cancelled) instead of an
+/// outcome.
+pub(crate) fn cancelled_solve_error() -> MappingError {
+    MappingError::Solver(ConicError::NumericalBreakdown {
+        iteration: 0,
+        detail: "solve cancelled".to_string(),
+    })
+}
+
 /// One memoization slot: filled exactly once, awaited by later lookups.
 struct Slot {
     result: Mutex<Option<Result<Mapping, MappingError>>>,

@@ -1,0 +1,71 @@
+//! Cooperative cancellation of in-flight suite runs.
+//!
+//! A [`CancelToken`] is a shared atomic flag: the owner of a submission
+//! (typically a [`serve`](crate::serve) session reacting to a client
+//! disconnect, a `cancel` request, or an expired deadline) fires it, and
+//! every worker draining that submission's work items observes it at the
+//! top of its loop — the next item is retired *unsolved* instead of
+//! executed. The item currently executing is allowed to finish, so a
+//! cancelled run aborts within one work item per worker and all slot
+//! accounting stays intact ("every work item reports exactly once").
+//!
+//! Cancellation never corrupts completed work: a run that observes its
+//! token returns [`EngineError::Cancelled`](crate::EngineError::Cancelled)
+//! instead of an outcome, so no partially-solved report is ever rendered,
+//! and the determinism invariants hold for every run that *does* complete.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable one-way cancellation flag (see the [module docs](self)).
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag. The flag only ever moves from "live" to "cancelled"; there is no
+/// reset — mint a fresh token per submission instead.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token: every holder of a clone observes the cancellation
+    /// on its next check. Idempotent.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        clone.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

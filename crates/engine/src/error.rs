@@ -10,6 +10,9 @@ pub enum EngineError {
     InvalidScenario(String),
     /// A suite file or report could not be parsed.
     InvalidInput(String),
+    /// The run's [`CancelToken`](crate::CancelToken) fired before the suite
+    /// finished: the work was aborted cooperatively and no outcome exists.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -17,6 +20,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::InvalidScenario(message) => write!(f, "invalid scenario: {message}"),
             EngineError::InvalidInput(message) => write!(f, "invalid input: {message}"),
+            EngineError::Cancelled => write!(f, "submission cancelled"),
         }
     }
 }

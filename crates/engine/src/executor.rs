@@ -31,9 +31,10 @@
 //! and of the steal schedule.
 
 use crate::cache::{
-    panicked_solve_error, CacheKey, CacheStats, CanonicalKey, ScenarioKeySeed, SolveCache,
-    SolveSource,
+    cancelled_solve_error, panicked_solve_error, CacheKey, CacheStats, CanonicalKey,
+    ScenarioKeySeed, SolveCache, SolveSource,
 };
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
 use crate::scenario::{Flow, Scenario, Suite};
 use crate::store::StoreStats;
@@ -75,6 +76,16 @@ pub struct RunSettings {
     /// matches no point of the suite is an error, never a silent no-op.
     /// `None` (the default) injects nothing.
     pub inject_panic: Option<PanicInjection>,
+    /// Fault injection for tests and CI chaos checks: the addressed point
+    /// sleeps for a fixed duration while executing (before its cache
+    /// lookup, like [`RunSettings::inject_panic`]) — the deterministic
+    /// lever that keeps a submission *running* long enough for
+    /// cancellation, deadline, and disconnect paths to be testable.
+    /// Unlike `inject_panic`, a stall that matches no point is a benign
+    /// no-op: the serve layer applies one plan to every submission, most
+    /// of which won't contain the addressed scenario. `None` (the
+    /// default) stalls nothing.
+    pub inject_stall: Option<StallInjection>,
 }
 
 /// Selects one work item for fault injection (see
@@ -88,6 +99,19 @@ pub struct PanicInjection {
     pub capacity_cap: Option<u64>,
 }
 
+/// Selects one work item for a stall fault (see
+/// [`RunSettings::inject_stall`]): the point of scenario `scenario` whose
+/// capacity cap is `capacity_cap` sleeps `millis` before solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallInjection {
+    /// Name of the scenario to stall.
+    pub scenario: String,
+    /// Capacity cap of the sweep point to stall (`None` for single solves).
+    pub capacity_cap: Option<u64>,
+    /// How long the addressed point sleeps, in milliseconds.
+    pub millis: u64,
+}
+
 impl Default for RunSettings {
     fn default() -> Self {
         Self {
@@ -97,6 +121,7 @@ impl Default for RunSettings {
             validate_all: false,
             steal: true,
             inject_panic: None,
+            inject_stall: None,
         }
     }
 }
@@ -301,9 +326,10 @@ fn execute_guarded(
     settings: &RunSettings,
     counters: &PoolCounters,
     inject: bool,
+    stall_ms: Option<u64>,
 ) -> PointOutcome {
     match catch_unwind(AssertUnwindSafe(|| {
-        execute_item(item, cache, settings, inject)
+        execute_item(item, cache, settings, inject, stall_ms)
     })) {
         Ok(outcome) => outcome,
         Err(_) => {
@@ -353,22 +379,23 @@ pub fn run_suite_with_cache(
     let counters = PoolCounters::default();
     let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
 
+    // The scoped executor has no caller-supplied cancellation: runs always
+    // drain to completion under a token that never fires.
+    let cancel = CancelToken::new();
     let mut outcome = std::thread::scope(|scope| {
         for worker in 0..jobs {
-            let shards = &shards;
-            let counters = &counters;
+            let context = DrainContext {
+                shards: &shards,
+                settings,
+                injection_target: prepared.injection_target,
+                stall_target: prepared.stall_target,
+                cache,
+                counters: &counters,
+                cancel: &cancel,
+            };
             let sender = sender.clone();
-            let injection_target = prepared.injection_target;
             scope.spawn(move || {
-                drain_worker(
-                    worker,
-                    shards,
-                    settings,
-                    injection_target,
-                    cache,
-                    counters,
-                    &sender,
-                );
+                drain_worker(worker, &context, &sender);
             });
         }
         drop(sender);
@@ -406,6 +433,7 @@ pub(crate) struct Prepared {
     pub(crate) resolved: Vec<ResolvedScenario>,
     pub(crate) items: Vec<WorkItem>,
     pub(crate) injection_target: Option<(usize, usize)>,
+    pub(crate) stall_target: Option<(usize, usize)>,
 }
 
 /// One scenario resolved but not yet expanded: everything
@@ -548,6 +576,7 @@ pub(crate) struct Planned {
     pub(crate) resolved: Vec<ResolvedScenario>,
     pub(crate) expansion: ExpansionJob,
     pub(crate) injection_target: Option<(usize, usize)>,
+    pub(crate) stall_target: Option<(usize, usize)>,
 }
 
 /// The serial half of preparation: resolves every scenario exactly once
@@ -568,9 +597,10 @@ pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, Eng
     // reused across scenarios too: one options fold for a hundred
     // same-options scenarios instead of one each.
     let mut last_seed: Option<(SolveOptions, Flow, Arc<ScenarioKeySeed>)> = None;
-    // The injected fault resolved to slot coordinates, so workers compare
+    // The injected faults resolved to slot coordinates, so workers compare
     // two indices instead of a per-item scenario-name clone.
     let mut injection_target: Option<(usize, usize)> = None;
+    let mut stall_target: Option<(usize, usize)> = None;
     for (scenario_index, scenario) in suite.scenarios.iter().enumerate() {
         let configuration = Arc::new(
             scenario
@@ -621,6 +651,15 @@ pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, Eng
                 injection_target = Some((scenario_index, point_index));
             }
         }
+        if let Some(stall) = settings
+            .inject_stall
+            .as_ref()
+            .filter(|stall| stall.scenario == scenario.name)
+        {
+            if let Some(point_index) = caps.iter().position(|cap| *cap == stall.capacity_cap) {
+                stall_target = Some((scenario_index, point_index));
+            }
+        }
         resolved.push(ResolvedScenario {
             configuration: Arc::clone(&configuration),
             flow,
@@ -649,10 +688,14 @@ pub(crate) fn plan(suite: &Suite, settings: &RunSettings) -> Result<Planned, Eng
         }
     }
 
+    // A stall that matches nothing is deliberately *not* refused: the
+    // serve layer applies one fault plan to every submission, and only the
+    // addressed suite should slow down (see `RunSettings::inject_stall`).
     Ok(Planned {
         resolved,
         expansion: ExpansionJob::new(plans),
         injection_target,
+        stall_target,
     })
 }
 
@@ -686,6 +729,7 @@ pub(crate) fn prepare(suite: &Suite, settings: &RunSettings) -> Result<Prepared,
         resolved: planned.resolved,
         items,
         injection_target: planned.injection_target,
+        stall_target: planned.stall_target,
     })
 }
 
@@ -744,19 +788,44 @@ pub(crate) fn shard_items(
     }
 }
 
+/// The shared, read-only state of one run's drain phase: everything a
+/// worker needs besides its own index and result sender. Bundled so the
+/// scoped executor and the parked [`Engine`](crate::Engine) pool hand the
+/// same context to the same drain loop.
+pub(crate) struct DrainContext<'a> {
+    pub(crate) shards: &'a [Mutex<VecDeque<WorkItem>>],
+    pub(crate) settings: &'a RunSettings,
+    pub(crate) injection_target: Option<(usize, usize)>,
+    pub(crate) stall_target: Option<(usize, usize)>,
+    pub(crate) cache: &'a SolveCache,
+    pub(crate) counters: &'a PoolCounters,
+    pub(crate) cancel: &'a CancelToken,
+}
+
 /// One worker's drain loop, shared by the scoped per-run executor and the
 /// reusable [`Engine`](crate::Engine) pool: pop locally (LIFO in stealing
 /// mode, FIFO on the shared queue), steal FIFO in ring order when dry,
 /// retire when every deque is empty.
+///
+/// The run's [`CancelToken`] is checked once per popped item: after it
+/// fires, the remaining items are retired as *unsolved* error outcomes —
+/// the slot discipline ("every work item reports exactly once") survives
+/// cancellation, assembly completes normally, and only the item each
+/// worker was already executing runs to completion.
 pub(crate) fn drain_worker(
     worker: usize,
-    shards: &[Mutex<VecDeque<WorkItem>>],
-    settings: &RunSettings,
-    injection_target: Option<(usize, usize)>,
-    cache: &SolveCache,
-    counters: &PoolCounters,
+    context: &DrainContext<'_>,
     sender: &mpsc::Sender<(usize, usize, PointOutcome)>,
 ) {
+    let DrainContext {
+        shards,
+        settings,
+        injection_target,
+        stall_target,
+        cache,
+        counters,
+        cancel,
+    } = *context;
     let home = worker.min(shards.len() - 1);
     loop {
         // LIFO local pop in stealing mode, FIFO on the shared queue (one
@@ -786,8 +855,28 @@ pub(crate) fn drain_worker(
         // Items are never re-queued, so empty-everywhere means the suite is
         // drained and the worker can retire.
         let Some(item) = item else { break };
+        if cancel.is_cancelled() {
+            // Retire the item unsolved. The placeholder error outcome keeps
+            // the slot accounting whole; it is never reported, because a
+            // cancelled run yields `EngineError::Cancelled`, not an outcome.
+            let _ = sender.send((
+                item.scenario_index,
+                item.point_index,
+                PointOutcome {
+                    capacity_cap: item.capacity_cap,
+                    result: Err(cancelled_solve_error()),
+                    solve_time: Duration::ZERO,
+                    source: SolveSource::Fresh,
+                    validation: None,
+                },
+            ));
+            continue;
+        }
         let inject = injection_target == Some((item.scenario_index, item.point_index));
-        let outcome = execute_guarded(&item, cache, settings, counters, inject);
+        let stall_ms = stall_target
+            .filter(|target| *target == (item.scenario_index, item.point_index))
+            .and_then(|_| settings.inject_stall.as_ref().map(|stall| stall.millis));
+        let outcome = execute_guarded(&item, cache, settings, counters, inject, stall_ms);
         // The receiver lives until every sender hung up; a send failure
         // means the submitting thread panicked already.
         let _ = sender.send((item.scenario_index, item.point_index, outcome));
@@ -889,7 +978,15 @@ fn execute_item(
     cache: &SolveCache,
     settings: &RunSettings,
     inject: bool,
+    stall_ms: Option<u64>,
 ) -> PointOutcome {
+    if let Some(millis) = stall_ms {
+        // Like the injected panic below: deliberately before the cache
+        // lookup, so the stall fires on the addressed point regardless of
+        // slot-claim races — the deterministic "slow solve" lever the
+        // cancellation and deadline tests lean on.
+        std::thread::sleep(Duration::from_millis(millis));
+    }
     if inject {
         // Deliberately *before* the cache lookup: a fault inside the solve
         // closure would only fire if this point happened to be the slot

@@ -77,6 +77,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod cancel;
 mod error;
 pub mod executor;
 pub mod gen;
@@ -91,10 +92,11 @@ pub mod validate;
 pub use cache::{
     CacheKey, CacheStats, CanonicalKey, KeyConfiguration, ScenarioKeySeed, SolveCache, SolveSource,
 };
+pub use cancel::CancelToken;
 pub use error::EngineError;
 pub use executor::{
     expand_suite, run_scenario, run_suite, run_suite_with_cache, ExecutorStats, ExpansionSummary,
-    PanicInjection, PointOutcome, RunSettings, ScenarioOutcome, SuiteOutcome,
+    PanicInjection, PointOutcome, RunSettings, ScenarioOutcome, StallInjection, SuiteOutcome,
 };
 pub use gen::{generate_suite, GenParams};
 pub use pool::Engine;
@@ -102,9 +104,9 @@ pub use report::{PointReport, ScenarioReport, SuiteReport, SCHEMA_VERSION};
 pub use scenario::{Flow, Scenario, Suite, SweepSpec, ValidationMode, WorkloadSpec};
 pub use serve::{Reply, Request, ServeConfig, Server, StatsSnapshot};
 pub use store::{
-    GcOutcome, GcPolicy, LocalDirBackend, RawEntry, RecompressOutcome, RemoteBackend, SolveStore,
-    StoreBackend, StoreEntry, StoreStats, StoreSummary, OLDEST_READABLE_SCHEMA,
-    STORE_SCHEMA_VERSION,
+    BreakerConfig, CircuitBreaker, GcOutcome, GcPolicy, LocalDirBackend, RawEntry,
+    RecompressOutcome, RemoteBackend, RemoteHealth, SolveStore, StoreBackend, StoreEntry,
+    StoreStats, StoreSummary, OLDEST_READABLE_SCHEMA, STORE_SCHEMA_VERSION,
 };
 pub use validate::{validate_outcome, PointValidation, ValidationReport};
 

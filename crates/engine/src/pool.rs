@@ -38,10 +38,12 @@
 //! ```
 
 use crate::cache::{CacheStats, SolveCache};
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
 use crate::executor::{
-    assemble_outcome, drain_worker, plan, shard_items, ExpansionJob, ExpansionSummary,
-    PointOutcome, PoolCounters, ResolvedScenario, RunSettings, SuiteOutcome, WorkItem,
+    assemble_outcome, drain_worker, plan, shard_items, DrainContext, ExpansionJob,
+    ExpansionSummary, PointOutcome, PoolCounters, ResolvedScenario, RunSettings, SuiteOutcome,
+    WorkItem,
 };
 use crate::scenario::Suite;
 use crate::validate::{PointValidation, ValidationJob};
@@ -57,7 +59,9 @@ struct JobState {
     counters: PoolCounters,
     settings: RunSettings,
     injection_target: Option<(usize, usize)>,
+    stall_target: Option<(usize, usize)>,
     cache: Arc<SolveCache>,
+    cancel: CancelToken,
 }
 
 /// One unit of work handed to a parked worker. Both phases of a run flow
@@ -122,15 +126,16 @@ impl Engine {
                                     // expander.
                                 }
                                 Assignment::Solve { job, home, results } => {
-                                    drain_worker(
-                                        home,
-                                        &job.shards,
-                                        &job.settings,
-                                        job.injection_target,
-                                        &job.cache,
-                                        &job.counters,
-                                        &results,
-                                    );
+                                    let context = DrainContext {
+                                        shards: &job.shards,
+                                        settings: &job.settings,
+                                        injection_target: job.injection_target,
+                                        stall_target: job.stall_target,
+                                        cache: &job.cache,
+                                        counters: &job.counters,
+                                        cancel: &job.cancel,
+                                    };
+                                    drain_worker(home, &context, &results);
                                     // `results` drops here: one retired
                                     // worker.
                                 }
@@ -193,8 +198,10 @@ impl Engine {
             planned.resolved,
             items,
             planned.injection_target,
+            planned.stall_target,
             settings,
             cache,
+            &CancelToken::new(),
             start,
         ))
     }
@@ -226,8 +233,37 @@ impl Engine {
         settings: &RunSettings,
         cache: &Arc<SolveCache>,
     ) -> Result<SuiteOutcome, EngineError> {
+        self.submit_with_cancel(suite, settings, cache, &CancelToken::new())
+    }
+
+    /// [`Engine::submit`] with cooperative cancellation: when `cancel`
+    /// fires, every worker draining this submission retires its remaining
+    /// items unsolved (the item already executing finishes — abort within
+    /// one work item per worker), the validation stage is skipped, and the
+    /// call returns [`EngineError::Cancelled`] instead of an outcome.
+    ///
+    /// Cancellation is *observation-only* for everything shared: solves
+    /// that completed before the token fired stay cached (and stored), so
+    /// concurrent and later submissions are unaffected — their reports stay
+    /// byte-identical to solo runs.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] when the token fired before the run
+    /// completed; otherwise see [`Engine::run_suite`].
+    pub fn submit_with_cancel(
+        &self,
+        suite: &Suite,
+        settings: &RunSettings,
+        cache: &Arc<SolveCache>,
+        cancel: &CancelToken,
+    ) -> Result<SuiteOutcome, EngineError> {
         let start = Instant::now();
         let planned = plan(suite, settings)?;
+        if cancel.is_cancelled() {
+            // Cancelled while still queued: skip the expansion too.
+            return Err(EngineError::Cancelled);
+        }
         let items = self.expand(planned.expansion, settings.jobs.max(1));
         let mut distinct = HashSet::with_capacity(items.len());
         let mut misses = 0u64;
@@ -242,10 +278,15 @@ impl Engine {
             planned.resolved,
             items,
             planned.injection_target,
+            planned.stall_target,
             settings,
             cache,
+            cancel,
             start,
         );
+        if cancel.is_cancelled() {
+            return Err(EngineError::Cancelled);
+        }
         if settings.use_cache {
             outcome.cache = CacheStats { hits, misses };
         }
@@ -263,8 +304,10 @@ impl Engine {
         resolved: Vec<ResolvedScenario>,
         items: Vec<WorkItem>,
         injection_target: Option<(usize, usize)>,
+        stall_target: Option<(usize, usize)>,
         settings: &RunSettings,
         cache: &Arc<SolveCache>,
+        cancel: &CancelToken,
         start: Instant,
     ) -> SuiteOutcome {
         let jobs = settings
@@ -277,7 +320,9 @@ impl Engine {
             counters: PoolCounters::default(),
             settings: settings.clone(),
             injection_target,
+            stall_target,
             cache: Arc::clone(cache),
+            cancel: cancel.clone(),
         });
         let (sender, receiver) = mpsc::channel::<(usize, usize, PointOutcome)>();
         for (home, worker) in self.workers.iter().take(jobs).enumerate() {
@@ -305,8 +350,11 @@ impl Engine {
         );
         // The validation stage replays solved mappings after assembly, on
         // the same parked workers; the wall clock covers it, the report
-        // never does.
-        self.validate(&mut outcome, settings);
+        // never does. A cancelled run skips it: its outcome is discarded
+        // anyway, and replays would keep the pool busy after the abort.
+        if !cancel.is_cancelled() {
+            self.validate(&mut outcome, settings);
+        }
         outcome.wall_time = start.elapsed();
         outcome
     }

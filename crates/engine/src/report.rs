@@ -544,6 +544,20 @@ pub fn render_timing_summary(outcome: &SuiteOutcome) -> String {
                 "store: {} disk hits / {} remote hits / {} fresh solves / {} newly stored / {} rejected",
                 store.disk_hits, store.remote_hits, store.fresh_solves, store.stored, store.rejected
             );
+            // The breaker line appears only once the breaker has tripped:
+            // a healthy remote run stays byte-identical to before the
+            // breaker existed.
+            if store.breaker_opens > 0 {
+                let _ = writeln!(
+                    out,
+                    "remote breaker: {} opens / {} closes / {} probes / {} dropped puts{}",
+                    store.breaker_opens,
+                    store.breaker_closes,
+                    store.breaker_probes,
+                    store.dropped_puts,
+                    if store.breaker_open { " / open" } else { "" }
+                );
+            }
         } else {
             let _ = writeln!(
                 out,

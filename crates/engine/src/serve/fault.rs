@@ -1,0 +1,286 @@
+//! Deterministic fault injection for the service layer — the serve-side
+//! sibling of the executor's `BBS_TEST_INJECT_PANIC` hook.
+//!
+//! Robustness claims ("a severed peer is reaped", "a dropped reply does
+//! not wedge the dispatcher") are only testable if the failure can be
+//! made to happen *on demand, at a chosen point*. A [`FaultPlan`] is a
+//! small set of one-shot triggers, parsed from the strict
+//! `BBS_TEST_FAULT_PLAN` grammar (comma-separated directives):
+//!
+//! ```text
+//! drop-reply:N            swallow the N-th reply frame (1-based, server-wide)
+//! stall-reply:N:MS        sleep MS ms before writing the N-th reply
+//! fail-store-put:N        refuse the N-th store_put request
+//! sever-session:N         drop the connection on reading the N-th request,
+//!                         without a reply (a mid-request crash)
+//! stall-solve:SCEN:CAP:MS sleep MS ms inside the solve of scenario SCEN at
+//!                         capacity cap CAP (`-` = the no-sweep point) — the
+//!                         lever for disconnect/deadline tests
+//! ```
+//!
+//! Parsing is strict — a typo must fail the daemon loudly at startup, not
+//! silently run a chaos test with no chaos in it. Like the panic hook,
+//! the plan is test machinery: the default plan injects nothing and costs
+//! three relaxed atomic bumps per request/reply.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::executor::StallInjection;
+
+/// Environment variable [`FaultPlan::from_env`] reads.
+pub const FAULT_PLAN_ENV: &str = "BBS_TEST_FAULT_PLAN";
+
+/// What [`FaultPlan::reply_action`] tells the session to do with the
+/// reply it is about to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Swallow the frame: pretend the write happened (the client sees a
+    /// missing frame, the server carries on).
+    Drop,
+    /// Sleep this many milliseconds, then write the frame.
+    Stall(u64),
+}
+
+/// A parsed set of one-shot service-layer faults plus the counters that
+/// trigger them. See the [module docs](self) for the grammar.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    drop_reply: Option<u64>,
+    stall_reply: Option<(u64, u64)>,
+    fail_store_put: Option<u64>,
+    sever_session: Option<u64>,
+    stall_solve: Option<StallInjection>,
+    replies: AtomicU64,
+    requests: AtomicU64,
+    store_puts: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Parses the comma-separated directive list. Strict: unknown
+    /// directives, malformed numbers and duplicates are all errors.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending directive.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for directive in text.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                return Err("empty fault directive".to_string());
+            }
+            let mut parts = directive.split(':');
+            let name = parts.next().expect("split yields at least one part");
+            let args: Vec<&str> = parts.collect();
+            match name {
+                "drop-reply" => {
+                    set_once(
+                        &mut plan.drop_reply,
+                        parse_nth(directive, &args)?,
+                        directive,
+                    )?;
+                }
+                "stall-reply" => {
+                    let [nth, millis] = two_args(directive, &args)?;
+                    set_once(
+                        &mut plan.stall_reply,
+                        (
+                            parse_count(directive, nth)?,
+                            parse_count(directive, millis)?,
+                        ),
+                        directive,
+                    )?;
+                }
+                "fail-store-put" => {
+                    set_once(
+                        &mut plan.fail_store_put,
+                        parse_nth(directive, &args)?,
+                        directive,
+                    )?;
+                }
+                "sever-session" => {
+                    set_once(
+                        &mut plan.sever_session,
+                        parse_nth(directive, &args)?,
+                        directive,
+                    )?;
+                }
+                "stall-solve" => {
+                    let [scenario, cap, millis] = three_args(directive, &args)?;
+                    if scenario.is_empty() {
+                        return Err(format!("{directive:?}: scenario name is empty"));
+                    }
+                    let capacity_cap = match cap {
+                        "-" => None,
+                        cap => Some(parse_count(directive, cap)?),
+                    };
+                    set_once(
+                        &mut plan.stall_solve,
+                        StallInjection {
+                            scenario: scenario.to_string(),
+                            capacity_cap,
+                            millis: parse_count(directive, millis)?,
+                        },
+                        directive,
+                    )?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault directive {other:?} (expected drop-reply, stall-reply, \
+                         fail-store-put, sever-session or stall-solve)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses [`FAULT_PLAN_ENV`]. `Ok(None)` when unset or
+    /// empty; a set-but-malformed plan is an error — never ignored.
+    ///
+    /// # Errors
+    ///
+    /// The [`parse`](Self::parse) error, prefixed with the variable name.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(text) if !text.trim().is_empty() => Self::parse(&text)
+                .map(Some)
+                .map_err(|e| format!("{FAULT_PLAN_ENV}: {e}")),
+            _ => Ok(None),
+        }
+    }
+
+    /// Counts one outgoing reply and says what to do with it.
+    pub fn reply_action(&self) -> ReplyAction {
+        let nth = self.replies.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.drop_reply == Some(nth) {
+            return ReplyAction::Drop;
+        }
+        if let Some((stall_nth, millis)) = self.stall_reply {
+            if stall_nth == nth {
+                return ReplyAction::Stall(millis);
+            }
+        }
+        ReplyAction::Deliver
+    }
+
+    /// Counts one inbound request; `true` means the session must drop the
+    /// connection now, without replying.
+    pub fn sever_now(&self) -> bool {
+        let nth = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sever_session == Some(nth)
+    }
+
+    /// Counts one `store_put`; `true` means this one must be refused.
+    pub fn fail_store_put_now(&self) -> bool {
+        let nth = self.store_puts.fetch_add(1, Ordering::Relaxed) + 1;
+        self.fail_store_put == Some(nth)
+    }
+
+    /// The solve-stall injection to thread into run settings, if any.
+    pub fn stall_solve(&self) -> Option<StallInjection> {
+        self.stall_solve.clone()
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, directive: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("{directive:?}: directive given twice"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_nth(directive: &str, args: &[&str]) -> Result<u64, String> {
+    match args {
+        [nth] => parse_count(directive, nth),
+        _ => Err(format!("{directive:?}: expected exactly one :N argument")),
+    }
+}
+
+fn two_args<'a>(directive: &str, args: &[&'a str]) -> Result<[&'a str; 2], String> {
+    match args {
+        [a, b] => Ok([a, b]),
+        _ => Err(format!("{directive:?}: expected exactly two : arguments")),
+    }
+}
+
+fn three_args<'a>(directive: &str, args: &[&'a str]) -> Result<[&'a str; 3], String> {
+    match args {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(format!("{directive:?}: expected exactly three : arguments")),
+    }
+}
+
+fn parse_count(directive: &str, text: &str) -> Result<u64, String> {
+    let value: u64 = text
+        .parse()
+        .map_err(|_| format!("{directive:?}: {text:?} is not a non-negative integer"))?;
+    if value == 0 {
+        return Err(format!("{directive:?}: counts are 1-based, got 0"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        for _ in 0..10 {
+            assert_eq!(plan.reply_action(), ReplyAction::Deliver);
+            assert!(!plan.sever_now());
+            assert!(!plan.fail_store_put_now());
+        }
+        assert!(plan.stall_solve().is_none());
+    }
+
+    #[test]
+    fn directives_trigger_exactly_their_nth_event() {
+        let plan = FaultPlan::parse("drop-reply:2,sever-session:3,fail-store-put:1").unwrap();
+        assert_eq!(plan.reply_action(), ReplyAction::Deliver);
+        assert_eq!(plan.reply_action(), ReplyAction::Drop);
+        assert_eq!(plan.reply_action(), ReplyAction::Deliver);
+        assert!(!plan.sever_now());
+        assert!(!plan.sever_now());
+        assert!(plan.sever_now());
+        assert!(plan.fail_store_put_now());
+        assert!(!plan.fail_store_put_now());
+    }
+
+    #[test]
+    fn stall_directives_carry_their_durations() {
+        let plan = FaultPlan::parse("stall-reply:1:250,stall-solve:smoke-tiny:4:1500").unwrap();
+        assert_eq!(plan.reply_action(), ReplyAction::Stall(250));
+        assert_eq!(plan.reply_action(), ReplyAction::Deliver);
+        let stall = plan.stall_solve().unwrap();
+        assert_eq!(stall.scenario, "smoke-tiny");
+        assert_eq!(stall.capacity_cap, Some(4));
+        assert_eq!(stall.millis, 1500);
+        // `-` selects the no-sweep point.
+        let plan = FaultPlan::parse("stall-solve:solo:-:40").unwrap();
+        assert_eq!(plan.stall_solve().unwrap().capacity_cap, None);
+    }
+
+    #[test]
+    fn malformed_plans_are_loud_errors() {
+        for bad in [
+            "",
+            "drop-reply",
+            "drop-reply:0",
+            "drop-reply:x",
+            "drop-reply:1:2",
+            "stall-reply:1",
+            "sever-session:1,sever-session:2",
+            "stall-solve:smoke:4",
+            "stall-solve::4:10",
+            "tickle-peer:1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -20,6 +20,20 @@
 //! * [`server`] — the accept loop, the single dispatcher thread feeding
 //!   the shared engine, and graceful shutdown (drain in-flight, refuse
 //!   new).
+//! * [`fault`] — deterministic test-only fault injection ([`FaultPlan`],
+//!   `BBS_TEST_FAULT_PLAN`): dropped/stalled replies, refused store puts,
+//!   severed sessions, stalled solves.
+//!
+//! # Failure model
+//!
+//! Submissions are cancellable end to end: each carries a
+//! [`CancelToken`](crate::CancelToken) that the owning session fires on
+//! client disconnect, on an explicit `"cancel"` request (from any
+//! session, by ticket), or when the request's `deadline_ms` elapses —
+//! queued submissions abort before touching the engine, running ones
+//! within one work item. Sessions themselves are bounded: an optional
+//! idle timeout reaps silent clients, a per-frame read budget reaps
+//! byte-trickling ones, and every reply write carries a timeout.
 //!
 //! # Determinism carve-out
 //!
@@ -30,14 +44,17 @@
 //! frames across different connections is scheduling-dependent and is
 //! deliberately kept out of every report.
 
+pub mod fault;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod session;
 
+pub use fault::{FaultPlan, ReplyAction, FAULT_PLAN_ENV};
 pub use protocol::{
-    read_frame, read_reply, send_reply, send_request, write_frame, EngineStats, QueueStats, Reply,
-    Request, SessionStats, StatsSnapshot, StoreReport, MAX_FRAME_BYTES, STATS_SCHEMA_VERSION,
+    read_frame, read_frame_budgeted, read_reply, send_reply, send_request, write_frame,
+    EngineStats, FrameRead, QueueStats, Reply, Request, SessionStats, StatsSnapshot, StoreReport,
+    MAX_FRAME_BYTES, STATS_SCHEMA_VERSION,
 };
 pub use queue::{Admission, SubmissionQueue};
 pub use server::{ServeConfig, Server};

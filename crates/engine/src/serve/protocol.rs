@@ -14,6 +14,7 @@
 
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +32,11 @@ pub const MAX_FRAME_BYTES: u32 = 32 * 1024 * 1024;
 ///
 /// Version history: `1` — the PR 7 original; `2` — adds the per-session
 /// counters section and the store tier/compression fields (`remote_hits`,
-/// `logical_bytes`, per-version entry counts).
-pub const STATS_SCHEMA_VERSION: u64 = 2;
+/// `logical_bytes`, per-version entry counts); `3` — adds the failure-model
+/// counters: `queue.cancelled`, `sessions.reaped`, and the remote-tier
+/// circuit-breaker fields on the store section (`breaker_opens`,
+/// `breaker_closes`, `breaker_probes`, `breaker_open`, `dropped_puts`).
+pub const STATS_SCHEMA_VERSION: u64 = 3;
 
 /// Writes one length-prefixed frame and flushes the stream.
 pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
@@ -80,38 +84,81 @@ pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Like [`read_frame`], but tolerates read timeouts while *idle* so the
-/// server can notice a shutdown flag between requests.
+/// The outcome of one [`read_frame_budgeted`] call: either a frame, or one
+/// of the structured reasons no frame arrived.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary — the peer closed between messages.
+    Eof,
+    /// The shutdown flag was observed while no frame was in progress.
+    Shutdown,
+    /// No frame *started* within the idle budget: the session is a
+    /// candidate for reaping.
+    IdleTimeout,
+    /// A frame started but did not *complete* within the frame budget — a
+    /// slow-loris peer trickling (or abandoning) a header or payload.
+    Stalled,
+}
+
+/// Like [`read_frame`], but interruptible and budgeted: tolerates read
+/// timeouts, re-checking `shutdown` and the deadlines on every tick.
 ///
-/// The stream should have a read timeout configured. While no header byte
-/// has arrived yet, a timeout just re-checks `shutdown`; returns
-/// `Ok(None)` if it was raised (or on clean EOF). Once any byte of a frame
-/// has arrived, the peer is mid-message and timeouts keep waiting for the
-/// rest.
-pub fn read_frame_interruptible<R: Read>(
+/// The stream must have a read timeout configured — that timeout is the
+/// poll tick, the budgets here are the policy:
+///
+/// * `idle_timeout` bounds how long the call waits for a frame to *start*
+///   (measured from the call, i.e. from the end of the previous request).
+///   `None` waits forever.
+/// * `frame_timeout` bounds how long a frame may take from its first byte
+///   to its last, closing the classic slow-loris hole where one header
+///   byte pinned a session thread indefinitely. Checked on every tick
+///   *and* after every partial read, so a byte-per-tick trickle cannot
+///   dodge it. `None` waits forever.
+///
+/// Deadline expiry is a structured [`FrameRead`], never an `Err`: the
+/// caller decides whether to reap politely or drop the connection.
+pub fn read_frame_budgeted<R: Read>(
     stream: &mut R,
     shutdown: &AtomicBool,
-) -> io::Result<Option<Vec<u8>>> {
+    idle_timeout: Option<Duration>,
+    frame_timeout: Option<Duration>,
+) -> io::Result<FrameRead> {
+    let idle_start = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    let over_frame_budget = |frame_start: &Option<Instant>| matches!((frame_start, frame_timeout), (Some(start), Some(budget)) if start.elapsed() >= budget);
     let mut header = [0u8; 4];
     let mut have = 0usize;
     while have < header.len() {
+        if over_frame_budget(&frame_start) {
+            return Ok(FrameRead::Stalled);
+        }
         match stream.read(&mut header[have..]) {
             Ok(0) => {
                 if have == 0 {
-                    return Ok(None);
+                    return Ok(FrameRead::Eof);
                 }
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-frame",
                 ));
             }
-            Ok(n) => have += n,
+            Ok(n) => {
+                frame_start.get_or_insert_with(Instant::now);
+                have += n;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if have == 0 && shutdown.load(Ordering::Acquire) {
-                    return Ok(None);
+                if frame_start.is_none() {
+                    if shutdown.load(Ordering::Acquire) {
+                        return Ok(FrameRead::Shutdown);
+                    }
+                    if idle_timeout.is_some_and(|budget| idle_start.elapsed() >= budget) {
+                        return Ok(FrameRead::IdleTimeout);
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -127,6 +174,9 @@ pub fn read_frame_interruptible<R: Read>(
     let mut payload = vec![0u8; len as usize];
     let mut read = 0usize;
     while read < payload.len() {
+        if over_frame_budget(&frame_start) {
+            return Ok(FrameRead::Stalled);
+        }
         match stream.read(&mut payload[read..]) {
             Ok(0) => {
                 return Err(io::Error::new(
@@ -142,7 +192,29 @@ pub fn read_frame_interruptible<R: Read>(
             Err(e) => return Err(e),
         }
     }
-    Ok(Some(payload))
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Like [`read_frame`], but tolerates read timeouts while *idle* so the
+/// server can notice a shutdown flag between requests.
+///
+/// The stream should have a read timeout configured. While no header byte
+/// has arrived yet, a timeout just re-checks `shutdown`; returns
+/// `Ok(None)` if it was raised (or on clean EOF). Once any byte of a frame
+/// has arrived, the peer is mid-message and timeouts keep waiting for the
+/// rest — [`read_frame_budgeted`] is the variant that bounds that wait.
+pub fn read_frame_interruptible<R: Read>(
+    stream: &mut R,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    match read_frame_budgeted(stream, shutdown, None, None)? {
+        FrameRead::Frame(payload) => Ok(Some(payload)),
+        // Without budgets the timeout variants cannot occur; mapping them
+        // to a closed stream keeps the compat surface total.
+        FrameRead::Eof | FrameRead::Shutdown | FrameRead::IdleTimeout | FrameRead::Stalled => {
+            Ok(None)
+        }
+    }
 }
 
 enum HeaderRead {
@@ -206,7 +278,14 @@ pub fn read_reply<R: Read>(stream: &mut R) -> io::Result<Option<Reply>> {
 /// * `"run"` — submit a suite for solving. Exactly one of `suite` (an
 ///   inline suite definition) or `suite_name` (a built-in) may be set;
 ///   neither defaults to the built-in `paper` suite. `jobs` caps worker
-///   parallelism for this submission.
+///   parallelism for this submission; `deadline_ms` asks the server to
+///   cancel the submission if it has not completed that many milliseconds
+///   after the run request was read.
+/// * `"cancel"` — cancel the submission identified by `ticket` (from its
+///   `"accepted"` reply), whether it is still queued or already running.
+///   The cancelled submission's own session receives the structured
+///   `"cancelled"` reply; the canceller gets `"cancelled"` as an
+///   acknowledgement, or `"error"` if the ticket names no live submission.
 /// * `"stats"` — request a [`StatsSnapshot`].
 /// * `"store_get"` — fetch one store entry body by content address
 ///   (`key_hash`); answered with a `"store_entry"` reply. Used by the
@@ -227,6 +306,10 @@ pub struct Request {
     pub suite_name: Option<String>,
     /// Worker-parallelism cap for this submission.
     pub jobs: Option<u64>,
+    /// Server-side completion deadline for a `"run"`, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Submission ticket to abort, for a `"cancel"`.
+    pub ticket: Option<u64>,
     /// Content address (16 lowercase hex digits) for a `"store_get"`.
     pub key_hash: Option<String>,
     /// Entry body text for a `"store_put"`.
@@ -240,6 +323,8 @@ impl Request {
             suite: None,
             suite_name: None,
             jobs: None,
+            deadline_ms: None,
+            ticket: None,
             key_hash: None,
             entry: None,
         }
@@ -260,6 +345,23 @@ impl Request {
             suite: Some(suite),
             jobs: Some(jobs),
             ..Self::blank("run")
+        }
+    }
+
+    /// This request with a server-side completion deadline attached
+    /// (meaningful on `"run"` requests).
+    pub fn with_deadline_ms(self, deadline_ms: u64) -> Self {
+        Self {
+            deadline_ms: Some(deadline_ms),
+            ..self
+        }
+    }
+
+    /// A `"cancel"` request for the submission holding `ticket`.
+    pub fn cancel(ticket: u64) -> Self {
+        Self {
+            ticket: Some(ticket),
+            ..Self::blank("cancel")
         }
     }
 
@@ -309,6 +411,10 @@ impl Request {
 /// * `"report"` — the submission is complete; `report` holds the exact
 ///   `SuiteReport::to_json()` text, and `message` carries a failure
 ///   summary when any point failed unexpectedly.
+/// * `"cancelled"` — the submission identified by `ticket` was aborted
+///   (client disconnect, `"cancel"` request, or deadline); `message` names
+///   the reason. Sent in place of the `"report"` the submission will never
+///   produce, and to acknowledge a `"cancel"` request.
 /// * `"stats"` — answer to a `"stats"` request, in `stats`.
 /// * `"store_entry"` — answer to a `"store_get"`: `entry` holds the body
 ///   (absent on a miss — a miss is a normal reply, not an error) and
@@ -405,6 +511,16 @@ impl Reply {
         }
     }
 
+    /// A `"cancelled"` reply: the aborted submission's ticket plus the
+    /// reason the abort happened.
+    pub fn cancelled(ticket: u64, reason: &str) -> Self {
+        Self {
+            ticket: Some(ticket),
+            message: Some(reason.to_string()),
+            ..Self::blank("cancelled")
+        }
+    }
+
     /// A `"stats"` reply.
     pub fn stats(snapshot: StatsSnapshot) -> Self {
         Self {
@@ -465,6 +581,10 @@ pub struct QueueStats {
     pub completed: u64,
     /// Total submissions refused by admission control.
     pub rejected: u64,
+    /// Total submissions aborted by cancellation (client disconnect,
+    /// `cancel` request, or deadline). Cancelled submissions also count as
+    /// `completed` — their queue slot is released normally.
+    pub cancelled: u64,
 }
 
 /// Counters of the shared engine pool.
@@ -506,6 +626,19 @@ pub struct StoreReport {
     /// Entries ignored as corrupt, foreign-schema or colliding this
     /// process.
     pub rejected: u64,
+    /// Times the remote tier's circuit breaker opened (consecutive-failure
+    /// threshold reached) this process. Zero without a remote tier.
+    pub breaker_opens: u64,
+    /// Times a health probe closed the breaker again this process.
+    pub breaker_closes: u64,
+    /// Health probes (`store_stats` round trips) attempted while the
+    /// breaker was open this process.
+    pub breaker_probes: u64,
+    /// Whether the breaker is open right now (the remote tier is being
+    /// bypassed between probes).
+    pub breaker_open: bool,
+    /// Write-behind puts dropped because the remote tier was unavailable.
+    pub dropped_puts: u64,
 }
 
 impl StoreReport {
@@ -531,6 +664,11 @@ impl StoreReport {
             fresh_solves: stats.fresh_solves,
             stored: stats.stored,
             rejected: stats.rejected,
+            breaker_opens: stats.breaker_opens,
+            breaker_closes: stats.breaker_closes,
+            breaker_probes: stats.breaker_probes,
+            breaker_open: stats.breaker_open,
+            dropped_puts: stats.dropped_puts,
         }
     }
 
@@ -557,6 +695,9 @@ pub struct SessionStats {
     pub limit: u64,
     /// Connections refused because the session limit was reached.
     pub rejected: u64,
+    /// Sessions closed by the server's deadlines: idle connections past the
+    /// idle timeout, and slow-loris peers that stalled mid-frame.
+    pub reaped: u64,
 }
 
 /// The machine-readable stats object.
@@ -674,7 +815,9 @@ mod tests {
     fn requests_round_trip_through_the_wire_format() {
         let requests = vec![
             Request::run_builtin("smoke", 4),
+            Request::run_builtin("smoke", 4).with_deadline_ms(1500),
             Request::run_suite(sample_suite(), 2),
+            Request::cancel(7),
             Request::stats(),
             Request::store_get("00ff00ff00ff00ff"),
             Request::store_put("{\"schema\":2}\n".to_string()),
@@ -702,6 +845,7 @@ mod tests {
             Reply::point("pc", Some(4), true),
             Reply::point("single", None, false),
             Reply::report(report_text.to_string(), Some("1 failure".to_string())),
+            Reply::cancelled(7, "client disconnected"),
             Reply::stats(StatsSnapshot::new()),
             Reply::store_entry(Some("{\"schema\":2}\n".to_string()), Some(2)),
             Reply::store_entry(None, None),
@@ -741,6 +885,7 @@ mod tests {
                 submitted: 40,
                 completed: 37,
                 rejected: 5,
+                cancelled: 3,
             }),
             engine: Some(EngineStats { workers: 8 }),
             cache: Some(CacheStats {
@@ -762,11 +907,17 @@ mod tests {
                 fresh_solves: 6,
                 stored: 6,
                 rejected: 0,
+                breaker_opens: 1,
+                breaker_closes: 1,
+                breaker_probes: 4,
+                breaker_open: false,
+                dropped_puts: 2,
             }),
             sessions: Some(SessionStats {
                 active: 2,
                 limit: 64,
                 rejected: 1,
+                reaped: 1,
             }),
         };
         let text = full.to_json();
@@ -779,6 +930,91 @@ mod tests {
         let decoded = StatsSnapshot::from_json(legacy).unwrap();
         assert_eq!(decoded.schema, 1);
         assert!(decoded.sessions.is_none());
+    }
+
+    /// A reader following a fixed script of results, simulating a socket
+    /// with a read timeout: `None` entries time out (`WouldBlock`), `Some`
+    /// entries deliver bytes. After the script, every read times out.
+    struct ScriptedReader {
+        script: std::collections::VecDeque<Option<Vec<u8>>>,
+    }
+
+    impl ScriptedReader {
+        fn new(script: Vec<Option<&[u8]>>) -> Self {
+            Self {
+                script: script.into_iter().map(|s| s.map(<[u8]>::to_vec)).collect(),
+            }
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Some(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    Ok(n)
+                }
+                Some(None) | None => Err(io::Error::new(io::ErrorKind::WouldBlock, "tick")),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_read_reaps_idle_streams_and_mid_frame_stalls() {
+        let live = AtomicBool::new(false);
+
+        // Nothing ever arrives: the idle budget fires (zero budget — the
+        // first timeout tick is already over it).
+        let mut idle = ScriptedReader::new(vec![None, None]);
+        let read = read_frame_budgeted(&mut idle, &live, Some(Duration::ZERO), None).unwrap();
+        assert!(matches!(read, FrameRead::IdleTimeout), "got {read:?}");
+
+        // One header byte, then silence: the idle budget no longer applies
+        // (a frame is in progress) but the frame budget does — the
+        // slow-loris hole this call exists to close.
+        let mut loris = ScriptedReader::new(vec![Some(&[0u8][..]), None, None]);
+        let read = read_frame_budgeted(
+            &mut loris,
+            &live,
+            Some(Duration::from_secs(3600)),
+            Some(Duration::ZERO),
+        )
+        .unwrap();
+        assert!(matches!(read, FrameRead::Stalled), "got {read:?}");
+
+        // A byte-per-tick trickle cannot dodge the frame budget either:
+        // the budget is checked between reads, not only on timeouts.
+        let mut trickle = ScriptedReader::new(vec![
+            Some(&[0u8][..]),
+            Some(&[0u8][..]),
+            Some(&[0u8][..]),
+            Some(&[4u8][..]),
+            Some(&[b'a'][..]),
+            None,
+        ]);
+        let read = read_frame_budgeted(&mut trickle, &live, None, Some(Duration::ZERO)).unwrap();
+        assert!(matches!(read, FrameRead::Stalled), "got {read:?}");
+
+        // An unbudgeted read still delivers a whole frame across ticks.
+        let mut patient = ScriptedReader::new(vec![
+            None,
+            Some(&[0u8, 0, 0, 2][..]),
+            None,
+            Some(&[b'h'][..]),
+            Some(&[b'i'][..]),
+        ]);
+        let read = read_frame_budgeted(&mut patient, &live, None, None).unwrap();
+        match read {
+            FrameRead::Frame(payload) => assert_eq!(payload, b"hi"),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+
+        // The shutdown flag still interrupts an idle wait.
+        let shutting_down = AtomicBool::new(true);
+        let mut idle = ScriptedReader::new(vec![None]);
+        let read = read_frame_budgeted(&mut idle, &shutting_down, None, None).unwrap();
+        assert!(matches!(read, FrameRead::Shutdown), "got {read:?}");
     }
 
     #[test]

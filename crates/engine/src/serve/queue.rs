@@ -32,6 +32,7 @@ struct QueueState<T> {
     submitted: u64,
     completed: u64,
     rejected: u64,
+    cancelled: u64,
 }
 
 /// A bounded multi-producer queue with round-robin per-client draining.
@@ -61,6 +62,7 @@ impl<T> SubmissionQueue<T> {
                 submitted: 0,
                 completed: 0,
                 rejected: 0,
+                cancelled: 0,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
@@ -135,6 +137,18 @@ impl<T> SubmissionQueue<T> {
         self.ready.notify_all();
     }
 
+    /// Records that one admitted submission ended as cancelled rather
+    /// than completing normally.
+    ///
+    /// Cancellation does **not** replace [`complete`](Self::complete):
+    /// the dispatcher still calls `complete` to free the admission slot,
+    /// so a cancelled submission counts in both `completed` and
+    /// `cancelled`.
+    pub fn record_cancelled(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.cancelled += 1;
+    }
+
     /// Closes the queue: future pushes fail with
     /// [`Closed`](Admission::Closed); `pop` drains what is queued, then
     /// returns `None`.
@@ -155,6 +169,7 @@ impl<T> SubmissionQueue<T> {
             submitted: state.submitted,
             completed: state.completed,
             rejected: state.rejected,
+            cancelled: state.cancelled,
         }
     }
 }
@@ -242,6 +257,20 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         queue.close();
         assert_eq!(closer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn cancelled_submissions_count_as_completed_and_cancelled() {
+        let queue = SubmissionQueue::new(4);
+        queue.push(1, "doomed").unwrap();
+        assert_eq!(queue.pop(), Some("doomed"));
+        // The dispatcher records the cancellation, then frees the slot.
+        queue.record_cancelled();
+        queue.complete();
+        let stats = queue.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.in_flight, 0);
     }
 
     #[test]

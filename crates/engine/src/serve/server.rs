@@ -9,16 +9,20 @@
 //! worker pool provides the parallelism *within* a submission, and serial
 //! dispatch keeps the fairness order the queue computed.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use super::fault::FaultPlan;
 use super::protocol::{send_reply, EngineStats, Reply, SessionStats, StatsSnapshot, StoreReport};
 use super::queue::SubmissionQueue;
 use super::session::handle_connection;
 use crate::cache::SolveCache;
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
 use crate::executor::{RunSettings, SuiteOutcome};
 use crate::pool::Engine;
@@ -43,6 +47,20 @@ pub struct ServeConfig {
     pub max_sessions: u64,
     /// Optional persistent store backing the shared cache.
     pub store: Option<SolveStore>,
+    /// Reap a session whose client has sent nothing for this long while no
+    /// run is in flight (`bbs serve --idle-timeout-ms`). `None` lets idle
+    /// sessions linger until they disconnect — the historical behaviour.
+    pub idle_timeout: Option<Duration>,
+    /// Ceiling on how long one request frame may take from its first byte
+    /// to its last. A peer trickling bytes (slow loris) is reaped when the
+    /// budget runs out instead of pinning a session thread forever.
+    pub frame_timeout: Duration,
+    /// Per-write timeout on every session reply, so one stalled reader
+    /// cannot wedge a session thread mid-write.
+    pub write_timeout: Duration,
+    /// Test-only fault injection (see [`FaultPlan`]); the default plan
+    /// injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +72,10 @@ impl Default for ServeConfig {
             retry_after_ms: 250,
             max_sessions: 64,
             store: None,
+            idle_timeout: None,
+            frame_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -64,6 +86,14 @@ pub(crate) struct Submission {
     pub(crate) suite: Suite,
     pub(crate) jobs: usize,
     pub(crate) reply: mpsc::Sender<Result<SuiteOutcome, EngineError>>,
+    /// Fired by the owning session (client disconnect, deadline, `cancel`
+    /// request) — aborts the submission whether still queued or already
+    /// running.
+    pub(crate) cancel: CancelToken,
+    /// The ticket the client was told; lets the dispatcher be labelled in
+    /// future diagnostics and keeps the pair self-describing.
+    #[allow(dead_code)]
+    pub(crate) ticket: u64,
 }
 
 /// Everything the accept, dispatcher and session threads share.
@@ -82,6 +112,16 @@ pub(crate) struct ServiceState {
     /// Connections refused by the session cap.
     pub(crate) session_rejects: AtomicU64,
     pub(crate) max_sessions: u64,
+    /// Sessions closed by the server: idle timeouts and mid-frame stalls.
+    pub(crate) reaped: AtomicU64,
+    /// In-flight submissions by ticket, so a `cancel` request from any
+    /// session can fire the right token. Entries live from admission until
+    /// the owning session has its result.
+    pub(crate) running: Mutex<HashMap<u64, CancelToken>>,
+    pub(crate) idle_timeout: Option<Duration>,
+    pub(crate) frame_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) faults: FaultPlan,
     local_addr: SocketAddr,
 }
 
@@ -100,8 +140,39 @@ impl ServiceState {
                 active: self.active_sessions.load(Ordering::Relaxed),
                 limit: self.max_sessions,
                 rejected: self.session_rejects.load(Ordering::Relaxed),
+                reaped: self.reaped.load(Ordering::Relaxed),
             }),
             ..StatsSnapshot::new()
+        }
+    }
+
+    /// Registers an admitted submission's cancel token under its ticket.
+    pub(crate) fn register_running(&self, ticket: u64, cancel: CancelToken) {
+        self.running
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(ticket, cancel);
+    }
+
+    /// Removes a submission from the cancel registry (result delivered,
+    /// admission refused, or the session died).
+    pub(crate) fn unregister_running(&self, ticket: u64) {
+        self.running
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&ticket);
+    }
+
+    /// Fires the cancel token registered under `ticket`, from any session.
+    /// `false` when no such submission is in flight.
+    pub(crate) fn cancel_ticket(&self, ticket: u64) -> bool {
+        let registry = self.running.lock().unwrap_or_else(PoisonError::into_inner);
+        match registry.get(&ticket) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
         }
     }
 
@@ -152,6 +223,12 @@ impl Server {
             active_sessions: AtomicU64::new(0),
             session_rejects: AtomicU64::new(0),
             max_sessions: config.max_sessions,
+            reaped: AtomicU64::new(0),
+            running: Mutex::new(HashMap::new()),
+            idle_timeout: config.idle_timeout,
+            frame_timeout: config.frame_timeout,
+            write_timeout: config.write_timeout,
+            faults: config.faults,
             local_addr,
         });
 
@@ -161,11 +238,23 @@ impl Server {
                 .name("bbs-serve-dispatch".to_string())
                 .spawn(move || {
                     while let Some(submission) = state.queue.pop() {
-                        let settings = RunSettings::with_jobs(submission.jobs);
-                        let result =
-                            state
-                                .engine
-                                .submit(&submission.suite, &settings, &state.cache);
+                        // A token that fired while the submission was still
+                        // queued aborts without touching the engine at all.
+                        let result = if submission.cancel.is_cancelled() {
+                            Err(EngineError::Cancelled)
+                        } else {
+                            let mut settings = RunSettings::with_jobs(submission.jobs);
+                            settings.inject_stall = state.faults.stall_solve();
+                            state.engine.submit_with_cancel(
+                                &submission.suite,
+                                &settings,
+                                &state.cache,
+                                &submission.cancel,
+                            )
+                        };
+                        if matches!(result, Err(EngineError::Cancelled)) {
+                            state.queue.record_cancelled();
+                        }
                         // Count completion BEFORE handing the result back:
                         // a client that has its report in hand must observe
                         // `completed` already bumped when it asks for stats.

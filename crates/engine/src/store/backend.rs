@@ -132,6 +132,14 @@ pub trait StoreBackend: Send + Sync + fmt::Debug {
     ///
     /// The underlying removal error, or [`io::ErrorKind::Unsupported`].
     fn clear(&self) -> io::Result<u64>;
+
+    /// The backend's self-healing health counters, when it has any. Local
+    /// backends have no failure machinery and report `None`; the remote
+    /// tier reports its circuit-breaker state (see
+    /// [`RemoteHealth`](crate::store::breaker::RemoteHealth)).
+    fn health(&self) -> Option<crate::store::breaker::RemoteHealth> {
+        None
+    }
 }
 
 /// The default backend: a content-addressed directory tree.

@@ -88,12 +88,14 @@
 //! ```
 
 pub mod backend;
+pub mod breaker;
 pub mod remote;
 
 pub use backend::{
     LocalDirBackend, RawEntry, StoreBackend, StoreEntry, OLDEST_READABLE_SCHEMA,
     STORE_SCHEMA_VERSION,
 };
+pub use breaker::{BreakerConfig, CircuitBreaker, RemoteHealth};
 pub use remote::RemoteBackend;
 
 use crate::cache::CanonicalKey;
@@ -127,6 +129,23 @@ pub struct StoreStats {
     /// Whether a remote tier is attached. Configuration, not a counter —
     /// it lets renderers show the remote column only when one exists.
     pub remote_enabled: bool,
+    /// Times the remote tier's circuit breaker opened (consecutive
+    /// transport failures reached the threshold). Zero without a remote
+    /// tier.
+    pub breaker_opens: u64,
+    /// Times a health probe succeeded against an open breaker and closed
+    /// it again.
+    pub breaker_closes: u64,
+    /// Health probes attempted while the breaker was open (successful or
+    /// not).
+    pub breaker_probes: u64,
+    /// Whether the breaker is open *right now* — remote traffic is being
+    /// fail-fasted while background probes look for recovery.
+    pub breaker_open: bool,
+    /// Write-behind entries dropped because the breaker was open when
+    /// their turn came. They cost the peer warmth only; the local tier
+    /// already holds them.
+    pub dropped_puts: u64,
 }
 
 /// What `bbs cache stats` reports: a full scan of the primary tier.
@@ -384,8 +403,14 @@ impl SolveStore {
         self.remote.is_some()
     }
 
-    /// This run's counters.
+    /// This run's counters, including the remote tier's circuit-breaker
+    /// health when one is attached.
     pub fn stats(&self) -> StoreStats {
+        let health = self
+            .remote
+            .as_ref()
+            .and_then(|remote| remote.health())
+            .unwrap_or_default();
         StoreStats {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             remote_hits: self.remote_hits.load(Ordering::Relaxed),
@@ -393,6 +418,11 @@ impl SolveStore {
             stored: self.stored.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             remote_enabled: self.remote.is_some(),
+            breaker_opens: health.breaker_opens,
+            breaker_closes: health.breaker_closes,
+            breaker_probes: health.breaker_probes,
+            breaker_open: health.breaker_open,
+            dropped_puts: health.dropped_puts,
         }
     }
 

@@ -14,13 +14,22 @@
 //!   the backend (end of run) joins the writer, so a finished process has
 //!   durably handed everything to the peer.
 //!
-//! Failure policy: the remote tier is strictly best-effort. The first
-//! unrecoverable transport error (one reconnect is attempted) marks the
-//! backend **broken**; every later operation fails fast without touching
-//! the network, and the run continues on the local tier alone. A broken or
-//! absent peer can cost fresh solves, never wrong answers — and because
-//! remote lookups happen only on the in-memory tier's claimer path, the
-//! report byte-identity invariants hold with or without the tier.
+//! Failure policy: the remote tier is strictly best-effort, and failures
+//! heal. Transport errors feed a [`CircuitBreaker`]: enough consecutive
+//! failures open it, after which every operation — reads and write-behind
+//! puts alike — fails fast without touching the network. Once the current
+//! backoff elapses, the next operation doubles as a `store_stats` health
+//! probe; a successful probe closes the breaker and traffic (including the
+//! write-behind queue) resumes, all without restarting the process. A
+//! broken or absent peer can cost fresh solves, never wrong answers — and
+//! because remote lookups happen only on the in-memory tier's claimer
+//! path, the report byte-identity invariants hold with or without the
+//! tier.
+//!
+//! One failure is still permanent: a peer that *answers* but refuses store
+//! requests (e.g. it serves without a store attached) will refuse every
+//! key, so the first semantic refusal latches the backend off — probing a
+//! healthy-but-unwilling peer cannot help.
 //!
 //! Management scans ([`list`](StoreBackend::list), [`clear`](StoreBackend::clear),
 //! …) are [`io::ErrorKind::Unsupported`]: retention runs where the data
@@ -29,10 +38,11 @@
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use super::backend::{RawEntry, StoreBackend, StoreEntry, STORE_SCHEMA_VERSION};
+use super::breaker::{BreakerConfig, CircuitBreaker, Gate, RemoteHealth};
 use crate::serve::protocol::{read_reply, send_request, Reply, Request, StoreReport};
 
 /// Queued-but-unsent `store_put` bodies the writer thread will buffer
@@ -50,11 +60,15 @@ pub struct RemoteBackend {
     /// The synchronous request connection (`store_get`, `store_stats`).
     /// `None` between a transport error and the reconnect attempt.
     conn: Mutex<Option<TcpStream>>,
-    /// Raised on the first unrecoverable failure; everything fails fast
-    /// afterwards so a dead peer costs one timeout, not one per key.
-    broken: AtomicBool,
-    /// `store_put` bodies dropped because the write-behind queue was full.
-    dropped_puts: AtomicU64,
+    /// Raised on the first *semantic* refusal (the peer answered but
+    /// rejected the store request); permanent — see the [module
+    /// docs](self).
+    refused: AtomicBool,
+    /// Transport health: open = fail fast, probe on backoff, self-heal.
+    breaker: Arc<CircuitBreaker>,
+    /// `store_put` bodies dropped: write-behind queue full, or breaker
+    /// open / transport failure when their turn came.
+    dropped_puts: Arc<AtomicU64>,
     writer: Mutex<Option<WriteBehind>>,
 }
 
@@ -65,7 +79,8 @@ struct WriteBehind {
 }
 
 impl RemoteBackend {
-    /// Connects to a peer daemon at `addr` (e.g. `127.0.0.1:4780`).
+    /// Connects to a peer daemon at `addr` (e.g. `127.0.0.1:4780`) with the
+    /// default [`BreakerConfig`].
     ///
     /// The synchronous connection is established eagerly so a mistyped
     /// address fails the command instead of silently degrading every
@@ -76,13 +91,23 @@ impl RemoteBackend {
     ///
     /// Returns the underlying connection error.
     pub fn connect(addr: &str) -> io::Result<Self> {
+        Self::connect_with(addr, BreakerConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit circuit-breaker tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connection error.
+    pub fn connect_with(addr: &str, breaker: BreakerConfig) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         Ok(Self {
             addr: addr.to_string(),
             conn: Mutex::new(Some(stream)),
-            broken: AtomicBool::new(false),
-            dropped_puts: AtomicU64::new(0),
+            refused: AtomicBool::new(false),
+            breaker: Arc::new(CircuitBreaker::new(breaker)),
+            dropped_puts: Arc::new(AtomicU64::new(0)),
             writer: Mutex::new(None),
         })
     }
@@ -92,9 +117,14 @@ impl RemoteBackend {
         &self.addr
     }
 
+    /// The transport circuit breaker, for inspection.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// How many write-behind puts were dropped because the queue was full
-    /// or the peer broke. Diagnostic only — drops cost the *peer* warmth,
-    /// never local correctness.
+    /// or the breaker was open. Diagnostic only — drops cost the *peer*
+    /// warmth, never local correctness.
     pub fn dropped_puts(&self) -> u64 {
         self.dropped_puts.load(Ordering::Relaxed)
     }
@@ -119,8 +149,8 @@ impl RemoteBackend {
     }
 
     /// Flushes the write-behind queue: blocks until every queued put has
-    /// been acknowledged by the peer (or the writer broke). Dropping the
-    /// backend flushes implicitly.
+    /// been acknowledged by the peer (or dropped). Dropping the backend
+    /// flushes implicitly.
     pub fn flush(&self) {
         let taken = self
             .writer
@@ -133,43 +163,47 @@ impl RemoteBackend {
         }
     }
 
-    /// One request/reply round trip on the synchronous connection, with a
-    /// single reconnect attempt on transport failure. Marks the backend
-    /// broken when both attempts fail.
+    /// One request/reply round trip on the synchronous connection, behind
+    /// the breaker: fail fast while open, probe with `store_stats` when
+    /// the backoff has elapsed, and record the transport outcome either
+    /// way.
     fn request(&self, request: &Request) -> io::Result<Reply> {
-        if self.broken.load(Ordering::Acquire) {
+        if self.refused.load(Ordering::Acquire) {
             return Err(io::Error::new(
                 io::ErrorKind::NotConnected,
-                format!("remote store {} is marked broken", self.addr),
+                format!("remote store {} refused store requests", self.addr),
             ));
         }
         let mut guard = self.conn.lock().unwrap_or_else(PoisonError::into_inner);
-        for attempt in 0..2 {
-            if guard.is_none() {
-                match TcpStream::connect(&self.addr) {
-                    Ok(stream) => {
-                        let _ = stream.set_nodelay(true);
-                        *guard = Some(stream);
-                    }
+        match self.breaker.gate() {
+            Gate::Open => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    format!("remote store {}: circuit breaker open", self.addr),
+                ));
+            }
+            Gate::Probe => {
+                self.breaker.record_probe();
+                match attempt_round_trip(&self.addr, &mut guard, &Request::store_stats()) {
+                    Ok(_) => self.breaker.record_success(),
                     Err(e) => {
-                        self.broken.store(true, Ordering::Release);
+                        self.breaker.record_failure();
                         return Err(e);
                     }
                 }
             }
-            let stream = guard.as_mut().expect("connection just ensured");
-            match round_trip(stream, request) {
-                Ok(reply) => return Ok(reply),
-                Err(e) => {
-                    *guard = None;
-                    if attempt == 1 {
-                        self.broken.store(true, Ordering::Release);
-                        return Err(e);
-                    }
-                }
+            Gate::Closed => {}
+        }
+        match attempt_round_trip(&self.addr, &mut guard, request) {
+            Ok(reply) => {
+                self.breaker.record_success();
+                Ok(reply)
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                Err(e)
             }
         }
-        unreachable!("the second attempt returned")
     }
 
     /// The writer-thread sender, spawning the thread on first use.
@@ -178,9 +212,11 @@ impl RemoteBackend {
         if guard.is_none() {
             let (sender, receiver) = mpsc::sync_channel(WRITE_BEHIND_CAPACITY);
             let addr = self.addr.clone();
+            let breaker = Arc::clone(&self.breaker);
+            let dropped = Arc::clone(&self.dropped_puts);
             let handle = std::thread::Builder::new()
                 .name("bbs-store-write-behind".to_string())
-                .spawn(move || write_behind_loop(&addr, receiver))?;
+                .spawn(move || write_behind_loop(&addr, receiver, &breaker, &dropped))?;
             *guard = Some(WriteBehind { sender, handle });
         }
         Ok(guard.as_ref().expect("writer just ensured").sender.clone())
@@ -194,50 +230,81 @@ impl Drop for RemoteBackend {
 }
 
 /// The write-behind thread: its own connection, one acknowledged
-/// `store_put` per queued body, one reconnect attempt per failure. After
-/// an unrecoverable failure the rest of the queue is drained and dropped —
-/// best-effort, by design.
-fn write_behind_loop(addr: &str, receiver: mpsc::Receiver<(String, String)>) {
+/// `store_put` per queued body, behind the shared breaker. A put whose
+/// turn comes while the breaker is open is dropped (counted); once a
+/// probe closes the breaker the remaining queue ships normally — the
+/// re-attach half of self-healing.
+fn write_behind_loop(
+    addr: &str,
+    receiver: mpsc::Receiver<(String, String)>,
+    breaker: &CircuitBreaker,
+    dropped: &AtomicU64,
+) {
     let mut conn: Option<TcpStream> = None;
-    let mut broken = false;
     for (_address, body) in receiver {
-        if broken {
-            continue;
+        match breaker.gate() {
+            Gate::Open => {
+                dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Gate::Probe => {
+                breaker.record_probe();
+                match attempt_round_trip(addr, &mut conn, &Request::store_stats()) {
+                    Ok(_) => breaker.record_success(),
+                    Err(_) => {
+                        breaker.record_failure();
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            Gate::Closed => {}
         }
         let request = Request::store_put(body);
-        let mut delivered = false;
-        for attempt in 0..2 {
-            if conn.is_none() {
-                match TcpStream::connect(addr) {
-                    Ok(stream) => {
-                        let _ = stream.set_nodelay(true);
-                        conn = Some(stream);
-                    }
-                    Err(_) => {
-                        broken = true;
-                        break;
-                    }
-                }
+        match attempt_round_trip(addr, &mut conn, &request) {
+            // Any decoded reply is an acknowledgement; an `"error"` reply
+            // means the peer refused this body (e.g. it failed validation)
+            // — retrying cannot help, move on.
+            Ok(_) => breaker.record_success(),
+            Err(_) => {
+                breaker.record_failure();
+                dropped.fetch_add(1, Ordering::Relaxed);
+                conn = None;
             }
-            let stream = conn.as_mut().expect("connection just ensured");
-            match round_trip(stream, &request) {
-                // Any decoded reply is an acknowledgement; an `"error"`
-                // reply means the peer refused this body (e.g. it failed
-                // validation) — retrying cannot help, move on.
-                Ok(_) => {
-                    delivered = true;
-                    break;
+        }
+    }
+}
+
+/// One round trip over a reusable connection slot, with a single reconnect
+/// attempt on transport failure. Leaves the slot empty when both attempts
+/// fail.
+fn attempt_round_trip(
+    addr: &str,
+    conn: &mut Option<TcpStream>,
+    request: &Request,
+) -> io::Result<Reply> {
+    for attempt in 0..2 {
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    *conn = Some(stream);
                 }
-                Err(_) => {
-                    conn = None;
-                    if attempt == 1 {
-                        broken = true;
-                    }
+                Err(e) => return Err(e),
+            }
+        }
+        let stream = conn.as_mut().expect("connection just ensured");
+        match round_trip(stream, request) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => {
+                *conn = None;
+                if attempt == 1 {
+                    return Err(e);
                 }
             }
         }
-        let _ = delivered;
     }
+    unreachable!("the second attempt returned")
 }
 
 /// Sends one request and reads one reply; a clean EOF is an error here —
@@ -283,18 +350,19 @@ impl StoreBackend for RemoteBackend {
             })),
             _ => {
                 // A peer that answers but refuses (no store attached, bad
-                // address) will refuse every key; stop asking.
-                self.broken.store(true, Ordering::Release);
+                // address) will refuse every key; stop asking — permanently,
+                // the breaker cannot heal unwillingness.
+                self.refused.store(true, Ordering::Release);
                 Err(reply_error(&reply))
             }
         }
     }
 
     fn put(&self, address: &str, body: &str) -> io::Result<u64> {
-        if self.broken.load(Ordering::Acquire) {
+        if self.refused.load(Ordering::Acquire) {
             return Err(io::Error::new(
                 io::ErrorKind::NotConnected,
-                format!("remote store {} is marked broken", self.addr),
+                format!("remote store {} refused store requests", self.addr),
             ));
         }
         let sender = self.writer_sender()?;
@@ -324,5 +392,15 @@ impl StoreBackend for RemoteBackend {
 
     fn clear(&self) -> io::Result<u64> {
         Err(unsupported("clear"))
+    }
+
+    fn health(&self) -> Option<RemoteHealth> {
+        Some(RemoteHealth {
+            breaker_open: self.breaker.is_open(),
+            breaker_opens: self.breaker.opens(),
+            breaker_closes: self.breaker.closes(),
+            breaker_probes: self.breaker.probes(),
+            dropped_puts: self.dropped_puts.load(Ordering::Relaxed),
+        })
     }
 }

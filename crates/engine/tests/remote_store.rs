@@ -4,11 +4,12 @@
 
 use bbs_engine::suites::smoke_suite;
 use bbs_engine::{
-    run_suite_with_cache, RemoteBackend, RunSettings, ServeConfig, Server, SolveCache, SolveStore,
-    SuiteReport,
+    generate_suite, run_suite_with_cache, BreakerConfig, GenParams, RemoteBackend, RunSettings,
+    ServeConfig, Server, SolveCache, SolveStore, SuiteReport,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// A unique, self-cleaning scratch directory.
 struct TempDir(PathBuf);
@@ -162,4 +163,99 @@ fn peer_stats_reports_the_daemon_store_and_a_dead_peer_degrades_gracefully() {
     let stats = cache.store().unwrap().stats();
     assert_eq!(stats.fresh_solves, 8);
     assert_eq!(stats.rejected, 0, "remote transport errors are not rejects");
+}
+
+#[test]
+fn a_peer_blip_opens_the_breaker_and_a_probe_heals_it_in_process() {
+    let directory = TempDir::new("breaker");
+    let peer_dir = directory.path().join("peer");
+    let server = start_peer(&peer_dir);
+    let addr = server.addr().to_string();
+    let settings = RunSettings::default();
+    let suite = smoke_suite();
+
+    // Populate the peer through a throwaway tiered run (dropping the cache
+    // flushes the write-behind queue).
+    {
+        let cache = tiered_cache(&directory.path().join("a"), &addr);
+        run_suite_with_cache(&suite, &settings, &cache).unwrap();
+    }
+
+    // The backend under test: a tight breaker so the blip and the heal
+    // both fit in test time. Connected while the peer is still up.
+    let remote = RemoteBackend::connect_with(
+        &addr,
+        BreakerConfig {
+            threshold: 2,
+            probe_backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(200),
+        },
+    )
+    .unwrap();
+    assert_eq!(remote.peer_stats().unwrap().entries, 8);
+
+    // Blip: the peer dies. Two consecutive transport failures open the
+    // breaker; the backend is degraded, not broken.
+    server.shutdown();
+    server.wait();
+    assert!(remote.peer_stats().is_err());
+    assert!(remote.peer_stats().is_err());
+    let breaker = remote.breaker();
+    assert!(breaker.is_open(), "two failures at threshold 2 must open");
+    assert_eq!(breaker.opens(), 1);
+    assert_eq!(breaker.closes(), 0);
+
+    // Heal: restart the peer on the same address (std listeners set
+    // SO_REUSEADDR), wait out the probe backoff, and attach the *same*
+    // backend instance to a cold local dir. The first lookup probes,
+    // closes the breaker, and every smoke key is served remotely again —
+    // no process restart, no new connection object.
+    let server = Server::start(ServeConfig {
+        store: Some(SolveStore::open(&peer_dir).unwrap()),
+        workers: 1,
+        addr: addr.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let cache = SolveCache::with_store(
+        SolveStore::open(directory.path().join("b"))
+            .unwrap()
+            .with_remote(Box::new(remote)),
+    );
+    let outcome = run_suite_with_cache(&suite, &settings, &cache).unwrap();
+    assert!(outcome.unexpected_failures().is_empty());
+    let stats = cache.store().unwrap().stats();
+    assert_eq!(stats.remote_hits, 8, "remote hits resume after the heal");
+    assert_eq!(stats.fresh_solves, 0);
+    assert_eq!(stats.breaker_opens, 1);
+    assert_eq!(stats.breaker_closes, 1);
+    assert!(!stats.breaker_open);
+    assert!(stats.breaker_probes >= 1);
+
+    // Write-behind re-attached too: fresh solves of a suite the peer has
+    // never seen stream back to it through the healed connection.
+    let extra = generate_suite(&GenParams {
+        seed: 11,
+        points: 4,
+    });
+    run_suite_with_cache(&extra, &settings, &cache).unwrap();
+    let fresh = cache.store().unwrap().stats().fresh_solves;
+    assert!(
+        fresh > 0,
+        "the generated suite must actually solve something"
+    );
+    drop(cache); // flush the write-behind queue
+    let peer_summary = SolveStore::open_existing(&peer_dir)
+        .unwrap()
+        .summary()
+        .unwrap();
+    assert!(
+        peer_summary.entries > 8,
+        "write-behind after the heal must reach the peer, got {} entries",
+        peer_summary.entries
+    );
+
+    server.shutdown();
+    server.wait();
 }

@@ -369,7 +369,8 @@ fn cache_stats_json_emits_the_shared_stats_snapshot() {
     // The output is the serve protocol's stats object — same serializer,
     // same schema — restricted to the store section an offline CLI has.
     let snapshot = StatsSnapshot::from_json(&text).expect("stats --json parses");
-    assert_eq!(snapshot.schema, 2);
+    // Schema 3 added the session-reap and remote-breaker counters.
+    assert_eq!(snapshot.schema, 3);
     assert!(snapshot.queue.is_none());
     assert!(snapshot.engine.is_none());
     assert!(snapshot.cache.is_none());
